@@ -1,0 +1,94 @@
+// Fig. 8 — basic micro-benchmark performance of LevelDB, SMRDB, SEALDB.
+//
+// Paper (100 GB, 4 KB values; results normalized to LevelDB):
+//   random write:  SEALDB 3.42x LevelDB, 1.67x SMRDB
+//   seq write:     SMRDB ~= SEALDB, both > LevelDB
+//   seq read:      SEALDB 3.96x LevelDB; SMRDB slightly below SEALDB
+//   random read:   SEALDB ~1.80x both (SMRDB ~= LevelDB)
+//
+// Throughput is ops per second of simulated device time.
+#include "bench_common.h"
+
+using namespace sealdb;
+using namespace sealdb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchParams params = BenchParams::FromFlags(flags);
+
+  const baselines::SystemKind kinds[] = {
+      baselines::SystemKind::kLevelDB,
+      baselines::SystemKind::kSMRDB,
+      baselines::SystemKind::kSEALDB,
+  };
+
+  struct Row {
+    const char* name;
+    double fill_random = 0, fill_seq = 0, read_seq = 0, read_random = 0;
+  } rows[3];
+
+  int idx = 0;
+  for (baselines::SystemKind kind : kinds) {
+    rows[idx].name = baselines::SystemName(kind);
+
+    // Sequential load on a fresh database.
+    {
+      std::unique_ptr<baselines::Stack> stack;
+      Status s =
+          baselines::BuildStack(params.MakeConfig(kind), "/db", &stack);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      LoadResult r = LoadDatabase(stack.get(), params.entries(), params,
+                                  /*random_order=*/false);
+      rows[idx].fill_seq = r.ops_per_second;
+    }
+
+    // Random load on a fresh database, then reads on the loaded database
+    // (the paper reads on the randomly loaded store).
+    {
+      std::unique_ptr<baselines::Stack> stack;
+      Status s =
+          baselines::BuildStack(params.MakeConfig(kind), "/db", &stack);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      LoadResult r = LoadDatabase(stack.get(), params.entries(), params,
+                                  /*random_order=*/true);
+      rows[idx].fill_random = r.ops_per_second;
+
+      ReadResult rr = RandomRead(stack.get(), params.entries(),
+                                 params.read_ops, params);
+      rows[idx].read_random = rr.ops_per_second;
+
+      ReadResult sr = SequentialRead(stack.get(), params.entries(),
+                                     params.read_ops, params);
+      rows[idx].read_seq = sr.ops_per_second;
+    }
+    idx++;
+  }
+
+  PrintHeader("Fig. 8: micro-benchmark throughput (ops/s, simulated device "
+              "time; " + std::to_string(params.load_mb) + " MB load)");
+  std::printf("%-14s %14s %14s %14s %14s\n", "system", "fill-random",
+              "fill-seq", "read-seq", "read-random");
+  for (const Row& row : rows) {
+    std::printf("%-14s %14.0f %14.0f %14.0f %14.0f\n", row.name,
+                row.fill_random, row.fill_seq, row.read_seq, row.read_random);
+  }
+
+  PrintHeader("Fig. 8 normalized to LevelDB (paper: 3.42 / ~1.2 / 3.96 / "
+              "1.80 for SEALDB)");
+  std::printf("%-14s %14s %14s %14s %14s\n", "system", "fill-random",
+              "fill-seq", "read-seq", "read-random");
+  for (const Row& row : rows) {
+    std::printf("%-14s %14.2f %14.2f %14.2f %14.2f\n", row.name,
+                row.fill_random / rows[0].fill_random,
+                row.fill_seq / rows[0].fill_seq,
+                row.read_seq / rows[0].read_seq,
+                row.read_random / rows[0].read_random);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 9 — YCSB macro-benchmark on LevelDB, SMRDB, SEALDB.
+//
+// Paper: load 25M entries (100 GB), then run 100K ops of each workload.
+// Workload-A 50r/50u, B 95r/5u, C 100r, D 95r/5i(latest), E 95scan/5i,
+// F 50r/50rmw. SEALDB wins most on load/write-heavy mixes; zipfian skew
+// makes the gains larger than under the uniform micro-benchmark.
+//
+// We load a scaled database and run scaled op counts; throughput is ops
+// per second of simulated device time.
+#include "bench_common.h"
+#include "ycsb/runner.h"
+
+using namespace sealdb;
+using namespace sealdb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchParams params = BenchParams::FromFlags(flags);
+  const uint64_t txn_ops = flags.GetInt("ops", params.read_ops);
+
+  const baselines::SystemKind kinds[] = {
+      baselines::SystemKind::kLevelDB,
+      baselines::SystemKind::kSMRDB,
+      baselines::SystemKind::kSEALDB,
+  };
+  const char* workloads[] = {"Load", "A", "B", "C", "D", "E", "F"};
+
+  // results[workload][system]
+  double results[7][3] = {};
+
+  int sys_idx = 0;
+  for (baselines::SystemKind kind : kinds) {
+    std::unique_ptr<baselines::Stack> stack;
+    Status s = baselines::BuildStack(params.MakeConfig(kind), "/db", &stack);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    ycsb::Runner runner(stack.get(), params.key_bytes, params.value_bytes());
+
+    ycsb::RunResult load;
+    s = runner.Load(params.entries(), &load);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    results[0][sys_idx] = load.ops_per_second();
+
+    for (int w = 1; w < 7; w++) {
+      ycsb::RunResult r;
+      // Workload E scans are ~50x heavier per op; run fewer.
+      const uint64_t ops =
+          std::string(workloads[w]) == "E" ? txn_ops / 10 : txn_ops;
+      s = runner.Run(ycsb::WorkloadSpec::ByName(workloads[w]),
+                     params.entries(), ops, &r);
+      if (!s.ok()) {
+        std::fprintf(stderr, "workload %s: %s\n", workloads[w],
+                     s.ToString().c_str());
+        return 1;
+      }
+      results[w][sys_idx] = r.ops_per_second();
+    }
+    sys_idx++;
+  }
+
+  PrintHeader("Fig. 9: YCSB throughput (ops/s, simulated device time; " +
+              std::to_string(params.entries()) + " records, " +
+              std::to_string(txn_ops) + " ops/workload)");
+  std::printf("%-10s %14s %14s %14s %18s\n", "workload", "LevelDB", "SMRDB",
+              "SEALDB", "SEALDB/LevelDB");
+  for (int w = 0; w < 7; w++) {
+    std::printf("%-10s %14.0f %14.0f %14.0f %18.2f\n", workloads[w],
+                results[w][0], results[w][1], results[w][2],
+                results[w][0] > 0 ? results[w][2] / results[w][0] : 0.0);
+  }
+  std::printf(
+      "\npaper: SEALDB enjoys the largest gains on the load and "
+      "write-dominated workloads (A, F); read-only C is closest.\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "baselines/presets.h"
+
+#include <algorithm>
+
+namespace sealdb::baselines {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kLevelDB:
+      return "LevelDB";
+    case SystemKind::kLevelDBOnHdd:
+      return "LevelDB-HDD";
+    case SystemKind::kLevelDBWithSets:
+      return "LevelDB+sets";
+    case SystemKind::kSMRDB:
+      return "SMRDB";
+    case SystemKind::kSEALDB:
+      return "SEALDB";
+  }
+  return "unknown";
+}
+
+StackConfig StackConfig::Scaled(uint64_t factor) const {
+  StackConfig c = *this;
+  if (factor <= 1) return c;
+  c.capacity_bytes /= factor;
+  c.band_bytes /= factor;
+  c.sstable_bytes /= factor;
+  c.write_buffer_bytes /= factor;
+  c.track_bytes = static_cast<uint32_t>(
+      std::max<uint64_t>(4096, track_bytes / factor));
+  c.conventional_bytes = std::max<uint64_t>(4ull << 20,
+                                            conventional_bytes / factor);
+  c.value_bytes = std::max<uint64_t>(64, value_bytes / factor);
+  c.time_scale = time_scale * factor;
+  return c;
+}
+
+namespace {
+
+smr::Geometry MakeGeometry(const StackConfig& config) {
+  smr::Geometry geo;
+  geo.capacity_bytes = config.capacity_bytes;
+  geo.block_bytes = 4096;
+  geo.track_bytes = config.track_bytes;
+  geo.shingle_overlap_tracks = config.shingle_overlap_tracks;
+  geo.conventional_bytes = config.conventional_bytes;
+  return geo;
+}
+
+Options MakeOptions(const StackConfig& config, const FilterPolicy* filter) {
+  Options opt;
+  opt.write_buffer_size = config.write_buffer_bytes;
+  opt.max_file_size = config.sstable_bytes;
+  opt.filter_policy = filter;
+  opt.inline_compactions = config.inline_compactions;
+  opt.max_bytes_for_level_base = 10 * config.sstable_bytes;
+  opt.max_manifest_file_size =
+      std::max<uint64_t>(256 << 10, 2 * config.write_buffer_bytes);
+
+  switch (config.kind) {
+    case SystemKind::kLevelDB:
+    case SystemKind::kLevelDBOnHdd:
+      break;  // stock configuration
+    case SystemKind::kLevelDBWithSets:
+      opt.compaction_unit = CompactionUnit::kSet;
+      break;
+    case SystemKind::kSMRDB:
+      opt.num_levels = 2;
+      opt.allow_overlap_last_level = true;
+      // Merge eagerly: SMRDB pays for its two-level design with large,
+      // frequent whole-range merges (paper Fig. 10: ~900 MB on average).
+      opt.max_overlap_runs = 2;
+      // SMRDB enlarges SSTables to the band size (40 MB at full scale),
+      // with headroom so a finished table (builders overshoot by a block
+      // or two) still fits one band exactly.
+      opt.max_file_size = config.band_bytes - config.band_bytes / 16;
+      opt.max_bytes_for_level_base = 10 * config.band_bytes;
+      break;
+    case SystemKind::kSEALDB:
+      opt.compaction_unit = CompactionUnit::kSet;
+      opt.prioritize_invalid_sets = true;
+      break;
+  }
+  return opt;
+}
+
+std::unique_ptr<smr::Drive> MakeDrive(const StackConfig& config,
+                                      smr::ShingledDisk** shingled_out) {
+  const smr::Geometry geo = MakeGeometry(config);
+  const smr::LatencyParams hdd =
+      smr::LatencyParams::Hdd().TimeScaled(config.time_scale);
+  const smr::LatencyParams smr_params =
+      smr::LatencyParams::Smr().TimeScaled(config.time_scale);
+  *shingled_out = nullptr;
+  switch (config.kind) {
+    case SystemKind::kLevelDBOnHdd:
+      return smr::NewHddDrive(geo, hdd);
+    case SystemKind::kLevelDB:
+    case SystemKind::kLevelDBWithSets:
+    case SystemKind::kSMRDB: {
+      smr::FixedBandOptions fb;
+      fb.band_bytes = config.band_bytes;
+      return smr::NewFixedBandDrive(geo, smr_params, fb);
+    }
+    case SystemKind::kSEALDB: {
+      auto disk = smr::NewShingledDisk(geo, smr_params);
+      *shingled_out = disk.get();
+      return disk;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
+    const StackConfig& config, const smr::Geometry& geo,
+    core::DynamicBandAllocator** dyn_out) {
+  *dyn_out = nullptr;
+  const uint64_t base = geo.conventional_bytes;
+  const uint64_t size = geo.capacity_bytes - base;
+  switch (config.kind) {
+    case SystemKind::kLevelDB:
+    case SystemKind::kLevelDBOnHdd:
+    case SystemKind::kLevelDBWithSets: {
+      fs::Ext4Options opt;
+      // Keep roughly 64 block groups at any scale so placement scatters
+      // like ext4 on a large partition.
+      opt.block_group_bytes = std::max<uint64_t>(
+          8ull << 20, config.capacity_bytes / 64);
+      return fs::NewExt4Allocator(base, size, geo.block_bytes, opt);
+    }
+    case SystemKind::kSMRDB:
+      return fs::NewBandAlignedAllocator(base, size, config.band_bytes);
+    case SystemKind::kSEALDB: {
+      core::DynamicBandOptions opt;
+      opt.base = base;
+      opt.limit = geo.capacity_bytes;
+      opt.track_bytes = geo.track_bytes;
+      opt.guard_bytes = geo.guard_bytes();
+      opt.class_unit = config.sstable_bytes;
+      auto alloc = std::make_unique<core::DynamicBandAllocator>(opt);
+      *dyn_out = alloc.get();
+      return alloc;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Stack::~Stack() {
+  // DB must close before the store, the store before the drive; member
+  // declaration order already guarantees this (unique_ptrs destroyed in
+  // reverse order), the explicit resets just make it obvious.
+  db_.reset();
+  store_.reset();
+}
+
+Status Stack::Reopen() {
+  db_.reset();
+  store_.reset();
+  allocator_.reset();
+
+  const smr::Geometry geo = MakeGeometry(config_);
+  allocator_ = MakeAllocator(config_, geo, &dyn_alloc_);
+  store_ = std::make_unique<fs::FileStore>(drive_.get(), allocator_.get());
+  Status s = store_->Recover();
+  if (!s.ok()) return s;
+  DB* db = nullptr;
+  s = DB::Open(options_, dbname_, store_.get(), &db);
+  if (!s.ok()) return s;
+  db_.reset(db);
+  return Status::OK();
+}
+
+Status BuildStack(const StackConfig& config, const std::string& name,
+                  std::unique_ptr<Stack>* out) {
+  auto stack = std::make_unique<Stack>();
+  stack->config_ = config;
+  stack->dbname_ = name;
+  if (config.bloom_bits_per_key > 0) {
+    stack->filter_.reset(NewBloomFilterPolicy(config.bloom_bits_per_key));
+  }
+  stack->options_ = MakeOptions(config, stack->filter_.get());
+
+  stack->drive_ = MakeDrive(config, &stack->shingled_);
+  if (stack->drive_ == nullptr) {
+    return Status::InvalidArgument("unknown system kind");
+  }
+  const smr::Geometry geo = MakeGeometry(config);
+  stack->allocator_ = MakeAllocator(config, geo, &stack->dyn_alloc_);
+  stack->store_ =
+      std::make_unique<fs::FileStore>(stack->drive_.get(),
+                                      stack->allocator_.get());
+  Status s = stack->store_->Format();
+  if (!s.ok()) return s;
+
+  DB* db = nullptr;
+  s = DB::Open(stack->options_, name, stack->store_.get(), &db);
+  if (!s.ok()) return s;
+  stack->db_.reset(db);
+  *out = std::move(stack);
+  return Status::OK();
+}
+
+}  // namespace sealdb::baselines

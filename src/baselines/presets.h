@@ -1,0 +1,116 @@
+// System presets: assemble the three complete stacks the paper evaluates
+// (plus the ablation and Fig. 2 variants) — drive model, extent allocator,
+// FileStore, and engine options — from a single scale-aware config.
+//
+//   kLevelDB        LevelDB defaults, ext4-like placement, fixed-band SMR
+//   kLevelDBOnHdd   same engine on a conventional drive (Fig. 2 baseline)
+//   kLevelDBWithSets  LevelDB + set-grouped compactions, still on the
+//                     fixed-band drive (the Fig. 14 ablation point)
+//   kSMRDB          two-level LSM, 40 MB band-aligned SSTables, key-range
+//                   overlap allowed in the last level
+//   kSEALDB         sets + dynamic bands on a raw shingled disk
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dynamic_band_allocator.h"
+#include "fs/ext4_allocator.h"
+#include "fs/file_store.h"
+#include "lsm/db.h"
+#include "smr/drive.h"
+#include "util/filter_policy.h"
+#include "util/options.h"
+
+namespace sealdb::baselines {
+
+enum class SystemKind {
+  kLevelDB,
+  kLevelDBOnHdd,
+  kLevelDBWithSets,
+  kSMRDB,
+  kSEALDB,
+};
+
+const char* SystemName(SystemKind kind);
+
+// Scale-aware configuration. The paper's full-scale constants are the
+// defaults; benches shrink everything by a common factor so CPU-bound runs
+// finish quickly while all ratios (AF, band/SSTable, guard/track) hold.
+struct StackConfig {
+  SystemKind kind = SystemKind::kSEALDB;
+
+  uint64_t capacity_bytes = 8ull << 30;
+  uint64_t band_bytes = 40ull << 20;       // fixed-band drives
+  uint64_t sstable_bytes = 4ull << 20;     // also the free-list class unit
+  uint64_t write_buffer_bytes = 4ull << 20;
+  uint32_t track_bytes = 1u << 20;
+  uint32_t shingle_overlap_tracks = 4;     // guard = 4 tracks = 4 MB
+  // Conventional (unshingled) region: FileStore metadata journal in the
+  // front half, WAL/manifest pool in the back half, like the conventional
+  // zones of real HM-SMR drives.
+  uint64_t conventional_bytes = 64ull << 20;
+  uint64_t value_bytes = 4096;             // workload hint only
+  int bloom_bits_per_key = 10;
+  bool inline_compactions = true;
+
+  // Positioning-time divisor applied to the latency model, normally equal
+  // to the geometric scale so seek:transfer economics match full scale.
+  uint64_t time_scale = 1;
+
+  // Divide all size constants by `factor` (power of two suggested).
+  StackConfig Scaled(uint64_t factor) const;
+};
+
+// A fully assembled system under test. Destruction order matters and is
+// handled by member order (db releases files before the store/drive die).
+class Stack {
+ public:
+  Stack() = default;
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  DB* db() { return db_.get(); }
+  fs::FileStore* store() { return store_.get(); }
+  smr::Drive* drive() { return drive_.get(); }
+  // Non-null only for kSEALDB.
+  smr::ShingledDisk* shingled_disk() { return shingled_; }
+  core::DynamicBandAllocator* dynamic_allocator() { return dyn_alloc_; }
+  const Options& options() const { return options_; }
+  const StackConfig& config() const { return config_; }
+
+  smr::DeviceStats device_stats() const { return drive_->stats(); }
+  DbStats db_stats() { return db_->GetDbStats(); }
+
+  // Paper Table I metrics.
+  double wa() { return db_->GetDbStats().wa(); }
+  double awa() const { return drive_->stats().awa(); }
+  double mwa() { return wa() * awa(); }
+
+  // Tear down and reopen the DB over the same drive contents, simulating a
+  // crash + restart (unsynced data is lost). Returns the reopen status.
+  Status Reopen();
+
+ private:
+  friend Status BuildStack(const StackConfig& config, const std::string& name,
+                           std::unique_ptr<Stack>* out);
+
+  StackConfig config_;
+  Options options_;
+  std::string dbname_;
+  std::unique_ptr<const FilterPolicy> filter_;
+  std::unique_ptr<smr::Drive> drive_;
+  smr::ShingledDisk* shingled_ = nullptr;
+  std::unique_ptr<fs::ExtentAllocator> allocator_;
+  core::DynamicBandAllocator* dyn_alloc_ = nullptr;
+  std::unique_ptr<fs::FileStore> store_;
+  std::unique_ptr<DB> db_;
+};
+
+// Build a complete stack with a fresh (formatted) store and an open DB.
+Status BuildStack(const StackConfig& config, const std::string& name,
+                  std::unique_ptr<Stack>* out);
+
+}  // namespace sealdb::baselines

@@ -1,0 +1,74 @@
+#include "core/band_inspector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sealdb::core {
+
+std::vector<BandInfo> BandInspector::Bands() const {
+  std::vector<BandInfo> bands;
+  auto free_regions = allocator_->FreeRegions();
+  std::sort(free_regions.begin(), free_regions.end(),
+            [](const auto& a, const auto& b) { return a.offset < b.offset; });
+
+  uint64_t cursor = allocator_->base();
+  const uint64_t frontier = allocator_->frontier();
+  for (const auto& fr : free_regions) {
+    if (fr.offset > cursor) {
+      bands.push_back({cursor, fr.offset - cursor, fr.length});
+    } else if (!bands.empty()) {
+      bands.back().following_gap += fr.length;
+    }
+    cursor = fr.offset + fr.length;
+  }
+  if (frontier > cursor) {
+    bands.push_back({cursor, frontier - cursor, 0});
+  }
+  return bands;
+}
+
+FragmentReport BandInspector::Fragments(uint64_t threshold) const {
+  FragmentReport report;
+  const uint64_t base = allocator_->base();
+  const uint64_t frontier = allocator_->frontier();
+  report.occupied_bytes = frontier > base ? frontier - base : 0;
+  report.allocated_bytes = allocator_->allocated_bytes();
+  report.guard_bytes = allocator_->guard_bytes_attached();
+  report.fragment_bytes = report.guard_bytes;
+  report.num_fragments = 0;
+
+  for (const auto& fr : allocator_->FreeRegions()) {
+    if (fr.length <= threshold) {
+      report.fragment_bytes += fr.length;
+      report.num_fragments++;
+    } else {
+      report.large_free_bytes += fr.length;
+    }
+  }
+  report.num_bands = Bands().size();
+  return report;
+}
+
+std::string BandInspector::Describe(uint64_t threshold) const {
+  const FragmentReport report = Fragments(threshold);
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "dynamic bands: %llu, occupied: %.1f MB, fragments: %.1f MB "
+                "(%.2f%%), large free: %.1f MB\n",
+                static_cast<unsigned long long>(report.num_bands),
+                report.occupied_bytes / 1048576.0,
+                report.fragment_bytes / 1048576.0,
+                100.0 * report.fragment_fraction(),
+                report.large_free_bytes / 1048576.0);
+  out += buf;
+  for (const BandInfo& band : Bands()) {
+    std::snprintf(buf, sizeof(buf), "  band @%10llu  %8.2f MB  gap %8.2f MB\n",
+                  static_cast<unsigned long long>(band.offset),
+                  band.length / 1048576.0, band.following_gap / 1048576.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sealdb::core

@@ -1,0 +1,286 @@
+#include "core/dynamic_band_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+static bool DynDebug() {
+  static bool on = getenv("SEALDB_DEBUG_ALLOC") != nullptr;
+  return on;
+}
+
+namespace sealdb::core {
+
+DynamicBandAllocator::DynamicBandAllocator(const DynamicBandOptions& opt)
+    : opt_(opt), frontier_(opt.base) {
+  assert(opt_.base % opt_.track_bytes == 0);
+  assert(opt_.guard_bytes % opt_.track_bytes == 0);
+  const uint64_t span = opt_.limit - opt_.base;
+  num_classes_ = static_cast<int>(span / opt_.class_unit) + 2;
+  // Cap the array: regions beyond the last class all share it.
+  num_classes_ = std::min(num_classes_, 1 << 20);
+  classes_.resize(num_classes_);
+}
+
+int DynamicBandAllocator::ClassOf(uint64_t size) const {
+  const uint64_t c = size / opt_.class_unit;
+  return static_cast<int>(std::min<uint64_t>(c, num_classes_ - 1));
+}
+
+int DynamicBandAllocator::ClassCeil(uint64_t size) const {
+  const uint64_t c = (size + opt_.class_unit - 1) / opt_.class_unit;
+  return static_cast<int>(std::min<uint64_t>(c, num_classes_ - 1));
+}
+
+void DynamicBandAllocator::InsertFreeRegion(uint64_t offset, uint64_t length) {
+  Region r;
+  r.length = length;
+  r.cls = ClassOf(length);
+  classes_[r.cls].push_back(offset);
+  r.pos = std::prev(classes_[r.cls].end());
+  nonempty_classes_.insert(r.cls);
+  by_offset_[offset] = r;
+  free_bytes_ += length;
+}
+
+void DynamicBandAllocator::RemoveFreeRegion(
+    std::map<uint64_t, Region>::iterator it) {
+  const Region& r = it->second;
+  classes_[r.cls].erase(r.pos);
+  if (classes_[r.cls].empty()) nonempty_classes_.erase(r.cls);
+  free_bytes_ -= r.length;
+  by_offset_.erase(it);
+}
+
+Status DynamicBandAllocator::Allocate(uint64_t size, fs::Extent* out) {
+  return AllocateImpl(size, /*force_guard=*/false, out);
+}
+
+Status DynamicBandAllocator::AllocateGuarded(uint64_t size, fs::Extent* out) {
+  // Append-mode files keep writing their extent long after later
+  // allocations may land immediately behind it, so the shingle window
+  // after the extent must stay dead for the extent's lifetime.
+  return AllocateImpl(size, /*force_guard=*/true, out);
+}
+
+Status DynamicBandAllocator::AllocateImpl(uint64_t size, bool force_guard,
+                                          fs::Extent* out) {
+  if (!finalized_) FinalizeReserves();
+  if (size == 0) return Status::InvalidArgument("zero-size allocation");
+  const uint64_t need = RoundToTrack(size);
+  const uint64_t guard = opt_.guard_bytes;
+
+  // Binary search of the class array for a free region satisfying Eq. 1
+  // (S_free >= S_req + S_guard), taking the first region in the class list.
+  auto cls_it = nonempty_classes_.lower_bound(ClassCeil(need + guard));
+  if (cls_it != nonempty_classes_.end()) {
+    const int cls = *cls_it;
+    const uint64_t offset = classes_[cls].front();
+    auto it = by_offset_.find(offset);
+    assert(it != by_offset_.end());
+    const uint64_t region_len = it->second.length;
+    assert(region_len >= need + guard);
+    RemoveFreeRegion(it);
+
+    const uint64_t surplus = region_len - need;
+    out->offset = offset;
+    out->length = need;
+    if (surplus < guard + opt_.track_bytes) {
+      // Exact fit (within one track of slack): the whole remainder becomes
+      // this allocation's guard region.
+      out->guard = surplus;
+      guard_attached_ += surplus;
+    } else if (force_guard) {
+      // Keep a full guard attached; the rest returns to the free list.
+      out->guard = guard;
+      guard_attached_ += guard;
+      InsertFreeRegion(offset + need + guard, surplus - guard);
+    } else {
+      // Split: data region plus a residual free region. The free region is
+      // itself the shingle separation, so no guard is consumed.
+      out->guard = 0;
+      InsertFreeRegion(offset + need, surplus);
+    }
+    allocated_ += need;
+    inserts_++;
+    if (DynDebug())
+      fprintf(stderr, "[alloc] insert  [%llu, +%llu, g%llu]\n",
+              (unsigned long long)out->offset, (unsigned long long)out->length,
+              (unsigned long long)out->guard);
+    return Status::OK();
+  }
+
+  // No suitable free region: append at the tail of valid data, in the
+  // non-banded residual space. Appends damage nothing ahead, so completed
+  // writes need no guard; append-mode extents still reserve one because
+  // later allocations will land directly behind them.
+  const uint64_t tail_guard = force_guard ? guard : 0;
+  if (frontier_ + need + tail_guard > opt_.limit) {
+    return Status::NoSpace("dynamic band space exhausted");
+  }
+  out->offset = frontier_;
+  out->length = need;
+  out->guard = tail_guard;
+  guard_attached_ += tail_guard;
+  frontier_ += need + tail_guard;
+  allocated_ += need;
+  appends_++;
+  if (DynDebug())
+    fprintf(stderr, "[alloc] append  [%llu, +%llu, g%llu]\n",
+            (unsigned long long)out->offset, (unsigned long long)out->length,
+            (unsigned long long)out->guard);
+  return Status::OK();
+}
+
+void DynamicBandAllocator::ReleaseRange(uint64_t offset, uint64_t length) {
+  if (length == 0) return;
+
+  // Coalesce with a free predecessor.
+  auto next = by_offset_.lower_bound(offset);
+  if (next != by_offset_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->first + prev->second.length <= offset);
+    if (prev->first + prev->second.length == offset) {
+      offset = prev->first;
+      length += prev->second.length;
+      RemoveFreeRegion(prev);
+    }
+  }
+  // Coalesce with a free successor.
+  next = by_offset_.lower_bound(offset);
+  if (next != by_offset_.end() && offset + length == next->first) {
+    length += next->second.length;
+    RemoveFreeRegion(next);
+  }
+
+  // A region reaching the residual frontier un-bands: the frontier moves
+  // back and the space returns to the non-banded pool.
+  if (offset + length == frontier_) {
+    frontier_ = offset;
+    return;
+  }
+
+  InsertFreeRegion(offset, length);
+}
+
+void DynamicBandAllocator::Free(const fs::Extent& e) {
+  if (!finalized_) FinalizeReserves();
+  if (DynDebug())
+    fprintf(stderr, "[alloc] free    [%llu, +%llu, g%llu]\n",
+            (unsigned long long)e.offset, (unsigned long long)e.length,
+            (unsigned long long)e.guard);
+  allocated_ -= e.length;
+  guard_attached_ -= e.guard;
+  ReleaseRange(e.offset, e.length + e.guard);
+}
+
+void DynamicBandAllocator::Shrink(fs::Extent* e, uint64_t new_length) {
+  if (!finalized_) FinalizeReserves();
+  if (DynDebug())
+    fprintf(stderr, "[alloc] shrink  [%llu, +%llu, g%llu] -> %llu\n",
+            (unsigned long long)e->offset, (unsigned long long)e->length,
+            (unsigned long long)e->guard, (unsigned long long)new_length);
+  const uint64_t keep = RoundToTrack(new_length);
+  assert(keep <= e->length);
+  if (keep == e->length) return;
+  const uint64_t tail = e->length - keep + e->guard;
+  allocated_ -= e->length - keep;
+  guard_attached_ -= e->guard;
+  ReleaseRange(e->offset + keep, tail);
+  e->length = keep;
+  e->guard = 0;
+}
+
+Status DynamicBandAllocator::Reserve(const fs::Extent& e) {
+  if (e.offset < opt_.base || e.end_with_guard() > opt_.limit) {
+    return Status::InvalidArgument("reserve outside managed space");
+  }
+  pending_reserves_.push_back(e);
+  finalized_ = false;
+  return Status::OK();
+}
+
+void DynamicBandAllocator::FinalizeReserves() {
+  finalized_ = true;
+  std::sort(pending_reserves_.begin(), pending_reserves_.end(),
+            [](const fs::Extent& a, const fs::Extent& b) {
+              return a.offset < b.offset;
+            });
+  uint64_t cursor = opt_.base;
+  for (const fs::Extent& e : pending_reserves_) {
+    assert(e.offset >= cursor && "overlapping reserves");
+    if (e.offset > cursor) {
+      InsertFreeRegion(cursor, e.offset - cursor);
+    }
+    allocated_ += e.length;
+    guard_attached_ += e.guard;
+    cursor = e.end_with_guard();
+  }
+  frontier_ = RoundToTrack(cursor);
+  pending_reserves_.clear();
+}
+
+std::vector<DynamicBandAllocator::FreeRegionInfo>
+DynamicBandAllocator::FreeRegions() const {
+  std::vector<FreeRegionInfo> out;
+  out.reserve(by_offset_.size());
+  for (const auto& [offset, region] : by_offset_) {
+    out.push_back({offset, region.length});
+  }
+  return out;
+}
+
+bool DynamicBandAllocator::CheckInvariants(std::string* why) const {
+  uint64_t prev_end = opt_.base;
+  uint64_t total_free = 0;
+  uint64_t prev_offset = 0;
+  bool first = true;
+  for (const auto& [offset, region] : by_offset_) {
+    if (offset < prev_end) {
+      *why = "free regions overlap";
+      return false;
+    }
+    if (!first && offset == prev_end && prev_offset != offset) {
+      *why = "adjacent free regions not coalesced";
+      return false;
+    }
+    if (offset + region.length > frontier_) {
+      *why = "free region beyond residual frontier";
+      return false;
+    }
+    if (region.cls != ClassOf(region.length)) {
+      *why = "region filed in wrong size class";
+      return false;
+    }
+    if (*region.pos != offset) {
+      *why = "class list back-pointer mismatch";
+      return false;
+    }
+    total_free += region.length;
+    prev_end = offset + region.length;
+    prev_offset = offset;
+    first = false;
+  }
+  if (total_free != free_bytes_) {
+    *why = "free byte accounting mismatch";
+    return false;
+  }
+  for (int c = 0; c < num_classes_; c++) {
+    const bool listed = nonempty_classes_.count(c) > 0;
+    if (listed != !classes_[c].empty()) {
+      *why = "nonempty-class index out of sync";
+      return false;
+    }
+    for (uint64_t off : classes_[c]) {
+      auto it = by_offset_.find(off);
+      if (it == by_offset_.end() || it->second.cls != c) {
+        *why = "class list references unknown region";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sealdb::core

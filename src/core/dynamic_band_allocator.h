@@ -1,0 +1,128 @@
+// DynamicBandAllocator — the paper's "dynamic band management"
+// (Sec. III-B2, Fig. 7).
+//
+// Space on a raw shingled disk is managed as follows:
+//  * New data is normally APPENDED at the residual frontier (the start of
+//    the never-banded region). Appends never damage valid data, so no
+//    guard region is consumed.
+//  * Freed sets enter a FREE-SPACE LIST: a sorted array of size classes,
+//    each class one multiple of the SSTable size wide, holding a doubly
+//    linked list of free regions. Lookup binary-searches the class array
+//    (O(log n)) and takes the first region in the class list.
+//  * An INSERT into a free region must satisfy Eq. 1:
+//        S_free >= S_req + S_guard
+//    so that writing the data can never shingle over the valid data that
+//    bounds the region on the right. If the region is an exact fit the
+//    remainder becomes the guard; if larger, the surplus is SPLIT off and
+//    returned to the free list.
+//  * When a region is freed it is COALESCED with free neighbours; a region
+//    reaching the residual frontier un-bands back into residual space.
+//
+// Disk space between two guard regions is a *dynamic band*: bands are a
+// consequence of allocation history, not fixed geometry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fs/extent_allocator.h"
+
+namespace sealdb::core {
+
+struct DynamicBandOptions {
+  uint64_t base = 0;            // first managed byte (after the conventional
+                                // metadata region)
+  uint64_t limit = 0;           // one past the last managed byte
+  uint64_t track_bytes = 1024 * 1024;     // allocation alignment
+  uint64_t guard_bytes = 4ull * 1024 * 1024;  // S_guard (4 MB in the paper)
+  uint64_t class_unit = 4ull * 1024 * 1024;   // free-list class width
+                                              // (one SSTable, 4 MB)
+};
+
+class DynamicBandAllocator final : public fs::ExtentAllocator {
+ public:
+  explicit DynamicBandAllocator(const DynamicBandOptions& opt);
+  ~DynamicBandAllocator() override = default;
+
+  Status Allocate(uint64_t size, fs::Extent* out) override;
+  Status AllocateGuarded(uint64_t size, fs::Extent* out) override;
+  void Free(const fs::Extent& e) override;
+  void Shrink(fs::Extent* e, uint64_t new_length) override;
+  Status Reserve(const fs::Extent& e) override;
+  uint64_t allocated_bytes() const override { return allocated_; }
+
+  // ---- introspection (Figs. 11/13 and tests) ----
+
+  struct FreeRegionInfo {
+    uint64_t offset;
+    uint64_t length;
+  };
+  std::vector<FreeRegionInfo> FreeRegions() const;
+
+  // Start of the residual (never banded) space.
+  uint64_t frontier() const { return frontier_; }
+  uint64_t base() const { return opt_.base; }
+  uint64_t limit() const { return opt_.limit; }
+
+  // Total bytes currently dead as guard regions attached to allocations.
+  uint64_t guard_bytes_attached() const { return guard_attached_; }
+
+  uint64_t free_list_bytes() const { return free_bytes_; }
+
+  // Number of times an allocation was served by inserting into freed space
+  // versus appending at the frontier.
+  uint64_t inserts() const { return inserts_; }
+  uint64_t appends() const { return appends_; }
+
+  // Validates internal invariants (no overlap, classes consistent); used by
+  // property tests. Returns false and fills *why on violation.
+  bool CheckInvariants(std::string* why) const;
+
+ private:
+  struct Region {
+    uint64_t length = 0;
+    int cls = 0;
+    std::list<uint64_t>::iterator pos;  // position in classes_[cls]
+  };
+
+  uint64_t RoundToTrack(uint64_t v) const {
+    return (v + opt_.track_bytes - 1) / opt_.track_bytes * opt_.track_bytes;
+  }
+
+  int ClassOf(uint64_t size) const;
+  // Smallest class every member of which is guaranteed >= size.
+  int ClassCeil(uint64_t size) const;
+
+  Status AllocateImpl(uint64_t size, bool force_guard, fs::Extent* out);
+
+  void InsertFreeRegion(uint64_t offset, uint64_t length);
+  void RemoveFreeRegion(std::map<uint64_t, Region>::iterator it);
+
+  // Free [offset, offset+length), coalescing with neighbours and the
+  // residual frontier.
+  void ReleaseRange(uint64_t offset, uint64_t length);
+
+  void FinalizeReserves();
+
+  DynamicBandOptions opt_;
+  int num_classes_;
+
+  std::map<uint64_t, Region> by_offset_;
+  std::vector<std::list<uint64_t>> classes_;
+  std::set<int> nonempty_classes_;
+
+  uint64_t frontier_;
+  uint64_t free_bytes_ = 0;
+  uint64_t allocated_ = 0;
+  uint64_t guard_attached_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t appends_ = 0;
+
+  bool finalized_ = true;
+  std::vector<fs::Extent> pending_reserves_;
+};
+
+}  // namespace sealdb::core

@@ -1,0 +1,52 @@
+#include "core/sealdb.h"
+
+#include "lsm/write_batch.h"
+
+namespace sealdb::core {
+
+Status SealDB::Open(const SealDBOptions& options,
+                    std::unique_ptr<SealDB>* out) {
+  baselines::StackConfig config;
+  config.kind = baselines::SystemKind::kSEALDB;
+  config.capacity_bytes = options.capacity_bytes;
+  config.sstable_bytes = options.sstable_bytes;
+  config.write_buffer_bytes = options.write_buffer_bytes;
+  config.track_bytes = options.track_bytes;
+  config.shingle_overlap_tracks = options.shingle_overlap_tracks;
+  config.bloom_bits_per_key = options.bloom_bits_per_key;
+  config.inline_compactions = options.inline_compactions;
+
+  auto db = std::unique_ptr<SealDB>(new SealDB());
+  Status s = baselines::BuildStack(config, "/sealdb", &db->stack_);
+  if (!s.ok()) return s;
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status SealDB::Put(const Slice& key, const Slice& value) {
+  return stack_->db()->Put(WriteOptions(), key, value);
+}
+
+Status SealDB::Get(const Slice& key, std::string* value) {
+  return stack_->db()->Get(ReadOptions(), key, value);
+}
+
+Status SealDB::Delete(const Slice& key) {
+  return stack_->db()->Delete(WriteOptions(), key);
+}
+
+Status SealDB::Write(const WriteOptions& opts, WriteBatch* batch) {
+  return stack_->db()->Write(opts, batch);
+}
+
+Status SealDB::Scan(const Slice& start, size_t limit,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::unique_ptr<Iterator> it(stack_->db()->NewIterator(ReadOptions()));
+  for (it->Seek(start); it->Valid() && out->size() < limit; it->Next()) {
+    out->emplace_back(it->key().ToString(), it->value().ToString());
+  }
+  return it->status();
+}
+
+}  // namespace sealdb::core

@@ -1,0 +1,54 @@
+#include "core/set_manager.h"
+
+namespace sealdb::core {
+
+void SetManager::RegisterSet(uint64_t set_id,
+                             const std::vector<uint64_t>& files,
+                             uint64_t total_bytes, int level) {
+  if (set_id == 0 || files.empty()) return;
+  SetInfo& info = sets_[set_id];
+  info.total += static_cast<int>(files.size());
+  info.bytes += total_bytes;
+  info.level = level;
+  for (uint64_t f : files) {
+    file_to_set_[f] = set_id;
+  }
+  sets_created_++;
+  total_set_bytes_ += total_bytes;
+  total_set_members_ += files.size();
+}
+
+void SetManager::RecoverSet(uint64_t set_id, uint64_t file_number,
+                            uint64_t file_size) {
+  if (set_id == 0) return;
+  SetInfo& info = sets_[set_id];
+  info.total += 1;
+  info.bytes += file_size;
+  file_to_set_[file_number] = set_id;
+}
+
+void SetManager::OnFileDeleted(uint64_t file_number) {
+  auto it = file_to_set_.find(file_number);
+  if (it == file_to_set_.end()) return;
+  const uint64_t set_id = it->second;
+  file_to_set_.erase(it);
+  auto sit = sets_.find(set_id);
+  if (sit == sets_.end()) return;
+  sit->second.invalid++;
+  if (sit->second.invalid >= sit->second.total) {
+    // The whole set faded; its region is reclaimed by the FileStore.
+    sets_.erase(sit);
+  }
+}
+
+int SetManager::InvalidCount(uint64_t set_id) const {
+  auto it = sets_.find(set_id);
+  return it == sets_.end() ? 0 : it->second.invalid;
+}
+
+uint64_t SetManager::SetOf(uint64_t file_number) const {
+  auto it = file_to_set_.find(file_number);
+  return it == file_to_set_.end() ? 0 : it->second;
+}
+
+}  // namespace sealdb::core

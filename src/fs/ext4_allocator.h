@@ -1,0 +1,33 @@
+// Ext4Allocator: emulates ext4's block-group placement behaviour, the
+// substrate of the paper's baseline LevelDB. New files rotate across block
+// groups, so the SSTables of one compaction land scattered over the disk —
+// the "random I/Os of LSM-trees" of paper Sec. II-C1 and Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fs/extent_allocator.h"
+
+namespace sealdb::fs {
+
+struct Ext4Options {
+  // Block-group width: AllocateNear confines goal-directed growth to the
+  // goal's group, like ext4's per-group allocation.
+  uint64_t block_group_bytes = 128ull * 1024 * 1024;
+};
+
+// Manages [base, base+size). Allocation granularity is `align` bytes
+// (the drive block size).
+std::unique_ptr<ExtentAllocator> NewExt4Allocator(uint64_t base, uint64_t size,
+                                                  uint64_t align,
+                                                  const Ext4Options& opt);
+
+// BandAlignedAllocator: SMRDB's placement — every allocation receives
+// dedicated whole bands, so band writes are always sequential and cause no
+// read-modify-write. Wastes the tail of the last band of each allocation.
+std::unique_ptr<ExtentAllocator> NewBandAlignedAllocator(uint64_t base,
+                                                         uint64_t size,
+                                                         uint64_t band_bytes);
+
+}  // namespace sealdb::fs

@@ -1,0 +1,29 @@
+// Extent: a contiguous byte range on a drive, optionally followed by a
+// guard region (unwritten shingle-protection tracks owned by the same
+// allocation, paper Sec. III-B2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sealdb::fs {
+
+struct Extent {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  // Dead space immediately after [offset, offset+length) reserved so that
+  // writing this extent never shingles over the next valid data. Freed
+  // together with the extent.
+  uint64_t guard = 0;
+
+  uint64_t end() const { return offset + length; }
+  uint64_t end_with_guard() const { return offset + length + guard; }
+
+  bool operator==(const Extent& o) const {
+    return offset == o.offset && length == o.length && guard == o.guard;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sealdb::fs

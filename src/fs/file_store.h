@@ -1,0 +1,201 @@
+// FileStore: the name -> physical-block-address indirection the paper adds
+// so the KV store runs directly on the (emulated) SMR drive without a file
+// system (Sec. III-D).
+//
+// Files are stored as chains of extents placed by a pluggable
+// ExtentAllocator. File metadata (name, extents, logical size, set-region
+// membership) is persisted in a journal living in the drive's conventional
+// region: two alternating checkpoint slots plus an append log, so the store
+// recovers after a crash from drive contents alone.
+//
+// Set support: a *region* is one contiguous allocation holding the output
+// SSTables of one compaction (a set). Files carved from a region share its
+// extent; the region's space returns to the allocator only when the last
+// file in it is removed — the paper's set-granular space reclamation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fs/extent.h"
+#include "fs/extent_allocator.h"
+#include "fs/free_map.h"
+#include "smr/drive.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sealdb::fs {
+
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  // Read up to n bytes; *result may point into scratch.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  // Push complete blocks to the drive; a partial trailing block stays
+  // buffered (and is not durable) until more data arrives or Close().
+  virtual Status Flush() = 0;
+  // Flush + persist the file's metadata so flushed bytes survive a crash.
+  virtual Status Sync() = 0;
+  // Flush everything (padding the final partial block) and persist.
+  virtual Status Close() = 0;
+};
+
+class FileStore {
+ public:
+  // The store writes its metadata journal into the drive's conventional
+  // region; `allocator` places file data in the shingled space.
+  FileStore(smr::Drive* drive, ExtentAllocator* allocator);
+  ~FileStore();
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  // Initialize an empty store (destroys existing metadata).
+  Status Format();
+
+  // Rebuild the name map and allocator state from the on-drive journal.
+  Status Recover();
+
+  // ---- Env-like file API ----
+  // `appendable` marks long-lived append-mode files (WAL, manifest): on
+  // shingled media their allocations carry a trailing guard because their
+  // tail tracks are written after later allocations land behind them.
+  Status NewWritableFile(const std::string& name, uint64_t size_hint,
+                         std::unique_ptr<WritableFile>* result,
+                         bool appendable = false);
+  Status NewRandomAccessFile(const std::string& name,
+                             std::unique_ptr<RandomAccessFile>* result);
+  Status NewSequentialFile(const std::string& name,
+                           std::unique_ptr<SequentialFile>* result);
+  Status RemoveFile(const std::string& name);
+  Status RenameFile(const std::string& src, const std::string& target);
+  bool FileExists(const std::string& name);
+  Status GetFileSize(const std::string& name, uint64_t* size);
+  std::vector<std::string> GetChildren();
+
+  // ---- set-region API (SEALDB compactions) ----
+  // Allocate one contiguous region of `size` bytes; returns its id.
+  // `guarded` reserves a trailing guard (needed when other writers may
+  // append behind the region while it is still being filled, i.e. with
+  // background compactions).
+  Status AllocateRegion(uint64_t size, uint64_t* region_id,
+                        bool guarded = false);
+  // Create a file whose data is carved sequentially from the region.
+  Status NewWritableFileInRegion(uint64_t region_id, const std::string& name,
+                                 std::unique_ptr<WritableFile>* result);
+  // Declare the region complete: return the unused tail to the allocator.
+  Status SealRegion(uint64_t region_id);
+  // Physical extent currently covered by the region.
+  Status GetRegionExtent(uint64_t region_id, Extent* extent);
+
+  // ---- introspection ----
+  Status GetFileExtents(const std::string& name, std::vector<Extent>* out);
+  smr::Drive* drive() { return drive_; }
+  ExtentAllocator* allocator() { return allocator_; }
+  smr::DeviceStats device_stats() const;
+
+  // Count of live files; metadata journal writes performed.
+  uint64_t journal_records_written() const { return journal_records_; }
+
+ private:
+  friend class StoreWritableFile;
+  friend class StoreRandomAccessFile;
+  friend class StoreSequentialFile;
+
+  struct FileMeta {
+    std::vector<Extent> extents;
+    uint64_t size = 0;          // logical bytes
+    uint64_t region_id = 0;     // 0 = standalone
+    bool appendable = false;    // in-memory only, not persisted
+  };
+
+  struct RegionMeta {
+    Extent extent;
+    uint64_t cursor = 0;        // bytes carved for files so far
+    uint64_t live_files = 0;
+    bool sealed = false;
+  };
+
+  // Journal record tags.
+  enum RecordTag : uint8_t {
+    kCreateFile = 1,
+    kUpdateFile = 2,
+    kRemoveFileTag = 3,
+    kRenameTag = 4,
+    kCreateRegion = 5,
+    kSealRegionTag = 6,
+  };
+
+  // Data-path helpers (mutex held by caller).
+  Status ReadExtents(const FileMeta& meta, uint64_t offset, size_t n,
+                     char* scratch);
+  Status WriteAt(FileMeta* meta, uint64_t file_offset, const Slice& data,
+                 uint64_t size_hint);
+  Status GrowFile(const std::string& name, FileMeta* meta, uint64_t min_bytes,
+                  uint64_t size_hint);
+  // Release over-allocated space beyond the file's logical size.
+  void ShrinkToFit(FileMeta* meta);
+  void DropFileData(const FileMeta& meta);
+
+  // Journal helpers (mutex held by caller).
+  Status JournalAppend(const std::string& payload);
+  Status WriteCheckpoint();
+  std::string EncodeState() const;
+  Status DecodeState(Slice input);
+  static void EncodeFileMeta(std::string* dst, const std::string& name,
+                             const FileMeta& meta);
+  static bool DecodeFileMeta(Slice* in, std::string* name, FileMeta* meta);
+  Status PersistFileMeta(RecordTag tag, const std::string& name,
+                         const FileMeta& meta);
+  Status ApplyRecord(Slice payload);
+
+  // Free an extent back to whichever pool owns it.
+  void FreeExtent(const Extent& e);
+
+  // Geometry of the metadata area. The conventional region is split in
+  // half: the journal (checkpoint slots + log) in the front, a pool for
+  // appendable files (WAL, manifest) in the back — like the conventional
+  // zones real zoned deployments reserve for logs and metadata.
+  uint64_t SlotBytes() const;
+  uint64_t SlotOffset(int slot) const;
+  uint64_t LogBegin() const;
+  uint64_t LogEnd() const;
+  uint64_t ConvFilesBegin() const;
+  uint64_t ConvFilesEnd() const;
+
+  mutable std::mutex mu_;
+  smr::Drive* drive_;
+  ExtentAllocator* allocator_;
+
+  std::map<std::string, FileMeta> files_;
+  std::map<uint64_t, RegionMeta> regions_;
+  FreeMap conv_files_free_;  // appendable-file pool in the conventional region
+  uint64_t next_region_id_ = 1;
+
+  // Journal state.
+  uint64_t journal_seq_ = 0;
+  int active_slot_ = 0;
+  uint64_t log_head_ = 0;
+  uint64_t journal_records_ = 0;
+  bool recovered_ = false;
+};
+
+}  // namespace sealdb::fs

@@ -1,0 +1,92 @@
+#include "fs/free_map.h"
+
+#include <cassert>
+
+namespace sealdb::fs {
+
+void FreeMap::Reset(uint64_t base, uint64_t size) {
+  free_.clear();
+  free_bytes_ = 0;
+  if (size > 0) {
+    free_[base] = size;
+    free_bytes_ = size;
+  }
+}
+
+bool FreeMap::AllocateInRange(uint64_t size, uint64_t range_begin,
+                              uint64_t range_end, uint64_t* offset) {
+  if (size == 0 || range_begin >= range_end) return false;
+  // First candidate: the free extent at or before range_begin may reach in.
+  auto it = free_.upper_bound(range_begin);
+  if (it != free_.begin()) --it;
+  for (; it != free_.end() && it->first < range_end; ++it) {
+    const uint64_t start = std::max(it->first, range_begin);
+    const uint64_t end = std::min(it->first + it->second, range_end);
+    if (end > start && end - start >= size) {
+      const uint64_t ext_off = it->first;
+      const uint64_t ext_len = it->second;
+      // Carve [start, start+size) out of [ext_off, ext_off+ext_len).
+      free_.erase(it);
+      if (start > ext_off) free_[ext_off] = start - ext_off;
+      if (ext_off + ext_len > start + size) {
+        free_[start + size] = ext_off + ext_len - (start + size);
+      }
+      free_bytes_ -= size;
+      *offset = start;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FreeMap::Allocate(uint64_t size, uint64_t* offset) {
+  return AllocateInRange(size, 0, UINT64_MAX, offset);
+}
+
+void FreeMap::Free(uint64_t offset, uint64_t size) {
+  if (size == 0) return;
+  free_bytes_ += size;  // caller contract: the range was in use
+  auto next = free_.lower_bound(offset);
+  // Coalesce with predecessor.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->first + prev->second <= offset);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      size += prev->second;
+      free_.erase(prev);
+    }
+  }
+  // Coalesce with successor.
+  if (next != free_.end()) {
+    assert(offset + size <= next->first);
+    if (offset + size == next->first) {
+      size += next->second;
+      free_.erase(next);
+    }
+  }
+  free_[offset] = size;
+}
+
+Status FreeMap::Carve(uint64_t offset, uint64_t size) {
+  if (size == 0) return Status::OK();
+  auto it = free_.upper_bound(offset);
+  if (it == free_.begin()) {
+    return Status::InvalidArgument("carve range not free");
+  }
+  --it;
+  const uint64_t ext_off = it->first;
+  const uint64_t ext_len = it->second;
+  if (offset < ext_off || offset + size > ext_off + ext_len) {
+    return Status::InvalidArgument("carve range not free");
+  }
+  free_.erase(it);
+  if (offset > ext_off) free_[ext_off] = offset - ext_off;
+  if (ext_off + ext_len > offset + size) {
+    free_[offset + size] = ext_off + ext_len - (offset + size);
+  }
+  free_bytes_ -= size;
+  return Status::OK();
+}
+
+}  // namespace sealdb::fs

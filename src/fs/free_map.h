@@ -1,0 +1,41 @@
+// FreeMap: offset-ordered free extent map with coalescing and ranged
+// first-fit search. Shared mechanism under the ext4-like and band-aligned
+// allocators (the dynamic-band allocator has its own size-class structure,
+// per the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/status.h"
+
+namespace sealdb::fs {
+
+class FreeMap {
+ public:
+  // Start with a single free region [base, base+size).
+  void Reset(uint64_t base, uint64_t size);
+
+  // First-fit search for `size` bytes with offset in [range_begin,
+  // range_end). Returns false if nothing fits entirely in range.
+  bool AllocateInRange(uint64_t size, uint64_t range_begin, uint64_t range_end,
+                       uint64_t* offset);
+
+  // First-fit over the whole space.
+  bool Allocate(uint64_t size, uint64_t* offset);
+
+  // Return [offset, offset+size) to the free pool, coalescing neighbours.
+  void Free(uint64_t offset, uint64_t size);
+
+  // Remove [offset, offset+size) from the free pool (recovery).
+  // Fails if any part is not currently free.
+  Status Carve(uint64_t offset, uint64_t size);
+
+  uint64_t free_bytes() const { return free_bytes_; }
+
+ private:
+  std::map<uint64_t, uint64_t> free_;  // offset -> length
+  uint64_t free_bytes_ = 0;
+};
+
+}  // namespace sealdb::fs

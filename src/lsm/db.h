@@ -1,0 +1,136 @@
+// Public database interface shared by all three systems in the study
+// (LevelDB-like baseline, SMRDB, SEALDB). A DB lives inside a FileStore,
+// which in turn sits on a simulated drive; choose the preset in
+// baselines/presets.h to assemble a complete stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/iterator.h"
+#include "util/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sealdb {
+
+namespace fs {
+class FileStore;
+}
+
+class WriteBatch;
+
+// Abstract handle to particular state of a DB.
+class Snapshot {
+ protected:
+  virtual ~Snapshot() = default;
+};
+
+// One record per executed compaction; the raw material of the paper's
+// Figs. 2/10/11 (latency series, sizes, placement).
+struct CompactionEvent {
+  int level = 0;          // input level
+  int output_level = 0;
+  int num_inputs_base = 0;     // files taken from `level`
+  int num_inputs_parent = 0;   // files taken from `output_level`
+  int num_outputs = 0;
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  double device_seconds = 0.0;  // simulated drive time spent
+  uint64_t set_id = 0;          // output set/region (0 = none)
+  bool trivial_move = false;
+  // Physical placement (offset, length) of every output table.
+  std::vector<std::pair<uint64_t, uint64_t>> output_placement;
+};
+
+// Metadata for one live table file, for tooling (band inspection,
+// fragment GC).
+struct LiveFileMeta {
+  uint64_t number = 0;
+  int level = 0;
+  uint64_t file_size = 0;
+  uint64_t set_id = 0;
+  std::string smallest_user_key;
+  std::string largest_user_key;
+};
+
+struct DbStats {
+  uint64_t user_bytes_written = 0;   // key+value payload from the client
+  uint64_t wal_bytes_written = 0;
+  uint64_t flush_bytes_written = 0;  // memtable -> L0 table bytes
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t num_compactions = 0;
+  uint64_t num_flushes = 0;
+  double compaction_device_seconds = 0.0;
+
+  // Paper Table I: WA = data written by the LSM-tree / user data.
+  double wa() const {
+    if (user_bytes_written == 0) return 1.0;
+    return static_cast<double>(flush_bytes_written +
+                               compaction_bytes_written) /
+           static_cast<double>(user_bytes_written);
+  }
+};
+
+class DB {
+ public:
+  // Open the database named "name" inside "store". Stores a pointer to a
+  // heap-allocated database in *dbptr; caller deletes it when done.
+  static Status Open(const Options& options, const std::string& name,
+                     fs::FileStore* store, DB** dbptr);
+
+  DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+  virtual ~DB() = default;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  // If the database contains an entry for "key" store the corresponding
+  // value in *value and return OK; returns NotFound otherwise.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  // Heap-allocated iterator over the DB contents; caller deletes.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // Supported properties: "sealdb.num-files-at-level<N>", "sealdb.stats",
+  // "sealdb.sstables", "sealdb.approximate-memory-usage".
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Compact the underlying storage for the key range [*begin,*end]
+  // (nullptr meaning open-ended).
+  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  // Compact only the files of `level` overlapping [*begin,*end] into the
+  // next level. Used by maintenance tooling (fragment GC) that wants to
+  // retire specific sets without cascading through every level.
+  virtual void CompactLevelRange(int level, const Slice* begin,
+                                 const Slice* end) = 0;
+
+  // Wait until no compaction work is pending (flushes the compaction
+  // pipeline; no-op with inline compactions).
+  virtual void WaitForIdle() = 0;
+
+  // ---- instrumentation used by the benchmark harnesses ----
+  virtual DbStats GetDbStats() = 0;
+  virtual std::vector<LiveFileMeta> GetLiveFilesMetadata() = 0;
+  // Enable per-compaction event recording (off by default) and drain the
+  // recorded events.
+  virtual void SetRecordCompactionEvents(bool enable) = 0;
+  virtual std::vector<CompactionEvent> TakeCompactionEvents() = 0;
+};
+
+// Delete the named database's files from the store.
+Status DestroyDB(const std::string& name, const Options& options,
+                 fs::FileStore* store);
+
+}  // namespace sealdb

@@ -1,0 +1,38 @@
+// File naming scheme inside the FileStore namespace:
+//   <dbname>/<number>.log     write-ahead log
+//   <dbname>/<number>.ldb     SSTable
+//   <dbname>/MANIFEST-<number> version descriptor
+//   <dbname>/CURRENT          name of the current manifest
+//   <dbname>/<number>.dbtmp   temporary files (renamed into place)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace sealdb {
+
+enum FileType {
+  kLogFile,
+  kDBLockFile,
+  kTableFile,
+  kDescriptorFile,
+  kCurrentFile,
+  kTempFile,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// If filename is a sealdb file, store the type of the file in *type.
+// The number encoded in the filename is stored in *number.
+// Returns true if the filename was successfully parsed.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+}  // namespace sealdb

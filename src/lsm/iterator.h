@@ -1,0 +1,53 @@
+// Iterator: the engine-wide cursor abstraction over key/value sources
+// (memtables, blocks, tables, merged views).
+#pragma once
+
+#include <functional>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sealdb {
+
+class Iterator {
+ public:
+  Iterator();
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+  virtual ~Iterator();
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // REQUIRES: Valid()
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+
+  // Register a cleanup run at iterator destruction.
+  using CleanupFunction = void (*)(void* arg1, void* arg2);
+  void RegisterCleanup(CleanupFunction function, void* arg1, void* arg2);
+
+ private:
+  struct CleanupNode {
+    bool IsEmpty() const { return function == nullptr; }
+    void Run() { (*function)(arg1, arg2); }
+
+    CleanupFunction function;
+    void* arg1;
+    void* arg2;
+    CleanupNode* next;
+  };
+  CleanupNode cleanup_head_;
+};
+
+// Empty iterators for degenerate cases.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace sealdb

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sealdb {
+
+namespace fs {
+class WritableFile;
+}
+
+namespace log {
+
+class Writer {
+ public:
+  // Create a writer that will append data to "*dest".
+  // "*dest" must remain live while this Writer is in use.
+  explicit Writer(fs::WritableFile* dest);
+
+  // Create a writer that will append data to "*dest" which has initial
+  // length "dest_length" (reopening an existing log).
+  Writer(fs::WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  ~Writer() = default;
+
+  Status AddRecord(const Slice& slice);
+
+  // Fill the remainder of the current block with zeros so a following
+  // Sync() flushes everything (nothing straddles a partial block). The
+  // next record starts on a fresh block.
+  Status PadToBlockBoundary();
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  fs::WritableFile* dest_;
+  int block_offset_;  // Current offset in block
+
+  // crc32c values for all supported record types.  These are
+  // pre-computed to reduce the overhead of computing the crc of the
+  // record type stored in the header.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace sealdb

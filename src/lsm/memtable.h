@@ -1,0 +1,72 @@
+// MemTable: in-memory sorted buffer of recent writes, backed by an
+// arena-allocated skiplist. Reference counted; a flushed memtable stays
+// alive while iterators or readers hold it.
+#pragma once
+
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "util/arena.h"
+#include "util/skiplist.h"
+
+namespace sealdb {
+
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Increase reference count.
+  void Ref() { ++refs_; }
+
+  // Drop reference count.  Delete if no more references exist.
+  void Unref() {
+    --refs_;
+    assert(refs_ >= 0);
+    if (refs_ <= 0) {
+      delete this;
+    }
+  }
+
+  // Returns an estimate of the number of bytes of data in use by this
+  // data structure.
+  size_t ApproximateMemoryUsage();
+
+  // Return an iterator that yields the contents of the memtable. Keys are
+  // internal keys encoded by AppendInternalKey.
+  Iterator* NewIterator();
+
+  // Add an entry that maps key to value at the specified sequence number
+  // and with the specified type. Typically value will be empty if
+  // type==kTypeDeletion.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If memtable contains a value for key, store it in *value and return
+  // true. If memtable contains a deletion for key, store NotFound() in
+  // *status and return true. Else, return false.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  typedef SkipList<const char*, KeyComparator> Table;
+
+  ~MemTable();  // Private since only Unref() should be used to delete it
+
+  KeyComparator comparator_;
+  int refs_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace sealdb

@@ -1,0 +1,59 @@
+// TableCache: LRU cache of open Table readers, keyed by file number.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "util/cache.h"
+#include "util/options.h"
+
+namespace sealdb {
+
+namespace fs {
+class FileStore;
+}
+
+class Table;
+
+class TableCache {
+ public:
+  TableCache(const std::string& dbname, const Options& options,
+             fs::FileStore* store, int entries);
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  ~TableCache() = default;
+
+  // Return an iterator for the specified file number (the corresponding
+  // file length must be exactly "file_size" bytes).  If "tableptr" is
+  // non-null, also sets "*tableptr" to point to the Table object
+  // underlying the returned iterator.  The returned "*tableptr" object is
+  // owned by the cache and should not be deleted, and is valid for as long
+  // as the returned iterator is live.
+  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
+                        uint64_t file_size, Table** tableptr = nullptr);
+
+  // If a seek to internal key "k" in specified file finds an entry,
+  // call (*handle_result)(arg, found_key, found_value).
+  Status Get(const ReadOptions& options, uint64_t file_number,
+             uint64_t file_size, const Slice& k, void* arg,
+             void (*handle_result)(void*, const Slice&, const Slice&));
+
+  // Evict any entry for the specified file number
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size,
+                   Cache::Handle**);
+
+  const std::string dbname_;
+  const Options& options_;
+  fs::FileStore* const store_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace sealdb

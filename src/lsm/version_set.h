@@ -1,0 +1,404 @@
+// Version / VersionSet: the persistent tree of table files per level, the
+// manifest log that records its evolution, and compaction picking.
+//
+// Extensions over classic LevelDB:
+//  * configurable level count (SMRDB runs with 2 levels),
+//  * an "overlapping last level" mode where key ranges inside the last
+//    level may overlap (SMRDB): lookups scan candidates newest-first and
+//    compactions are picked by overlap depth,
+//  * set-aware victim selection (SEALDB): among compaction candidates at a
+//    level, prefer the file whose set already has the most invalidated
+//    members, so set regions empty out and their space is reclaimed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/version_edit.h"
+#include "util/options.h"
+
+namespace sealdb {
+
+namespace fs {
+class FileStore;
+class WritableFile;
+}  // namespace fs
+
+namespace log {
+class Writer;
+}
+
+class Compaction;
+class Iterator;
+class MemTable;
+class TableBuilder;
+class TableCache;
+class Version;
+class VersionSet;
+class WritableFile;
+
+// Callback used for SEALDB's compact-most-invalid-set-first policy.
+class SetInfoProvider {
+ public:
+  virtual ~SetInfoProvider() = default;
+  // Number of already-invalidated SSTables recorded in the given set.
+  virtual int InvalidCount(uint64_t set_id) const = 0;
+};
+
+// Return the smallest index i such that files[i]->largest >= key.
+// Return files.size() if there is no such file.
+// REQUIRES: "files" contains a sorted list of non-overlapping files.
+int FindFile(const InternalKeyComparator& icmp,
+             const std::vector<FileMetaData*>& files, const Slice& key);
+
+// Returns true iff some file in "files" overlaps the user key range
+// [*smallest,*largest]. smallest==nullptr represents a key smaller than all
+// keys in the DB. largest==nullptr represents a key largest than all keys.
+// REQUIRES: If disjoint_sorted_files, files[] contains disjoint ranges in
+// sorted order.
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
+                           bool disjoint_sorted_files,
+                           const std::vector<FileMetaData*>& files,
+                           const Slice* smallest_user_key,
+                           const Slice* largest_user_key);
+
+class Version {
+ public:
+  struct GetStats {
+    FileMetaData* seek_file;
+    int seek_file_level;
+  };
+
+  // Append to *iters a sequence of iterators that will yield the contents
+  // of this Version when merged together. REQUIRES: saved version.
+  void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
+
+  // Lookup the value for key. If found, store it in *val and return OK.
+  // Else return a non-OK status. Fills *stats.
+  Status Get(const ReadOptions&, const LookupKey& key, std::string* val,
+             GetStats* stats);
+
+  // Adds "stats" into the current state.  Returns true if a new
+  // compaction may need to be triggered, false otherwise.
+  bool UpdateStats(const GetStats& stats);
+
+  void Ref();
+  void Unref();
+
+  void GetOverlappingInputs(
+      int level,
+      const InternalKey* begin,  // nullptr means before all keys
+      const InternalKey* end,    // nullptr means after all keys
+      std::vector<FileMetaData*>* inputs);
+
+  // Returns true iff some file in the specified level overlaps some part of
+  // [*smallest_user_key,*largest_user_key].
+  bool OverlapInLevel(int level, const Slice* smallest_user_key,
+                      const Slice* largest_user_key);
+
+  // Return the level at which we should place a new memtable compaction
+  // result that covers the range [smallest_user_key,largest_user_key].
+  int PickLevelForMemTableOutput(const Slice& smallest_user_key,
+                                 const Slice& largest_user_key);
+
+  int NumFiles(int level) const { return files_[level].size(); }
+
+  // True iff key ranges inside this level may overlap (level 0, or the
+  // last level in SMRDB mode).
+  bool LevelIsOverlapping(int level) const;
+
+  // Maximum number of mutually overlapping files at any point in the given
+  // level (only meaningful for overlapping levels).
+  int MaxOverlapDepth(int level) const;
+
+  std::string DebugString() const;
+
+  const std::vector<FileMetaData*>& files(int level) const {
+    return files_[level];
+  }
+
+ private:
+  friend class Compaction;
+  friend class VersionSet;
+
+  class LevelFileNumIterator;
+
+  explicit Version(VersionSet* vset);
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+  ~Version();
+
+  Iterator* NewConcatenatingIterator(const ReadOptions&, int level) const;
+
+  // Call func(arg, level, f) for every file that may contain an entry for
+  // user_key, newest-first. Stops when func returns false.
+  void ForEachOverlapping(Slice user_key, Slice internal_key, void* arg,
+                          bool (*func)(void*, int, FileMetaData*));
+
+  VersionSet* vset_;  // VersionSet to which this Version belongs
+  Version* next_;     // Next version in linked list
+  Version* prev_;     // Previous version in linked list
+  int refs_;          // Number of live refs to this version
+
+  // List of files per level
+  std::vector<std::vector<FileMetaData*>> files_;
+
+  // Next file to compact based on seek stats.
+  FileMetaData* file_to_compact_;
+  int file_to_compact_level_;
+
+  // Level that should be compacted next and its compaction score.
+  // Score < 1 means compaction is not strictly needed.
+  double compaction_score_;
+  int compaction_level_;
+};
+
+class VersionSet {
+ public:
+  VersionSet(const std::string& dbname, const Options* options,
+             fs::FileStore* store, TableCache* table_cache,
+             const InternalKeyComparator*);
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  ~VersionSet();
+
+  // Apply *edit to the current version to form a new descriptor that is
+  // both saved to persistent state and installed as the new current
+  // version.
+  Status LogAndApply(VersionEdit* edit);
+
+  // Recover the last saved descriptor from persistent storage.
+  Status Recover(bool* save_manifest);
+
+  // Return the current version.
+  Version* current() const { return current_; }
+
+  // Return the current manifest file number
+  uint64_t ManifestFileNumber() const { return manifest_file_number_; }
+
+  // Allocate and return a new file number
+  uint64_t NewFileNumber() { return next_file_number_++; }
+
+  // Arrange to reuse "file_number" unless a newer file number has
+  // already been allocated.
+  void ReuseFileNumber(uint64_t file_number) {
+    if (next_file_number_ == file_number + 1) {
+      next_file_number_ = file_number;
+    }
+  }
+
+  // Return the number of Table files at the specified level.
+  int NumLevelFiles(int level) const;
+
+  // Return the combined file size of all files at the specified level.
+  int64_t NumLevelBytes(int level) const;
+
+  // Return the last sequence number.
+  uint64_t LastSequence() const { return last_sequence_; }
+
+  // Set the last sequence number to s.
+  void SetLastSequence(uint64_t s) {
+    assert(s >= last_sequence_);
+    last_sequence_ = s;
+  }
+
+  // Mark the specified file number as used.
+  void MarkFileNumberUsed(uint64_t number);
+
+  // Return the current log file number.
+  uint64_t LogNumber() const { return log_number_; }
+
+  // Return the log file number for the log file that is currently
+  // being compacted, or zero if there is no such log file.
+  uint64_t PrevLogNumber() const { return prev_log_number_; }
+
+  int NumLevels() const { return options_->num_levels; }
+
+  // Pick level and inputs for a new compaction. Returns nullptr if no
+  // compaction needs to be done; otherwise a heap-allocated Compaction.
+  Compaction* PickCompaction();
+
+  // Return a compaction object for compacting the range [begin,end] in
+  // the specified level.  Returns nullptr if there is nothing in that
+  // level that overlaps the specified range.
+  Compaction* CompactRange(int level, const InternalKey* begin,
+                           const InternalKey* end);
+
+  // Maximum total overlapping bytes at the grandparent level for any
+  // compaction from level.
+  int64_t MaxGrandParentOverlapBytes() const;
+
+  // Size budget for a level.
+  double MaxBytesForLevel(int level) const;
+
+  uint64_t MaxFileSizeForLevel(int level) const;
+
+  // Create an iterator that reads over the compaction inputs for "*c".
+  Iterator* MakeInputIterator(Compaction* c);
+
+  // Returns true iff some level needs a compaction.
+  bool NeedsCompaction() const {
+    Version* v = current_;
+    return (v->compaction_score_ >= 1) || (v->file_to_compact_ != nullptr);
+  }
+
+  // Add all files listed in any live version to *live.
+  void AddLiveFiles(std::set<uint64_t>* live);
+
+  // Return the approximate offset in the database of the data for
+  // "key" as of version "v".
+  uint64_t ApproximateOffsetOf(Version* v, const InternalKey& key);
+
+  // Provider consulted for SEALDB's victim-selection policy; may be null.
+  void SetSetInfoProvider(const SetInfoProvider* provider) {
+    set_info_ = provider;
+  }
+
+  // Per-level scratch describing compaction debt; exposed for the stats
+  // surface in DB::GetProperty.
+  struct LevelSummaryStorage {
+    char buffer[200];
+  };
+  const char* LevelSummary(LevelSummaryStorage* scratch) const;
+
+  const Options* options() const { return options_; }
+  const InternalKeyComparator* icmp() const { return &icmp_; }
+
+ private:
+  class Builder;
+
+  friend class Compaction;
+  friend class Version;
+
+  bool ReuseManifest();
+  void Finalize(Version* v);
+
+  // SMRDB mode: seed inputs[0] with a file from the deepest overlap
+  // cluster at the given (overlapping) level.
+  void PickOverlapCluster(int level, Compaction* c);
+
+  void GetRange(const std::vector<FileMetaData*>& inputs, InternalKey* smallest,
+                InternalKey* largest);
+
+  void GetRange2(const std::vector<FileMetaData*>& inputs1,
+                 const std::vector<FileMetaData*>& inputs2,
+                 InternalKey* smallest, InternalKey* largest);
+
+  void SetupOtherInputs(Compaction* c);
+
+  // Save current contents to *log
+  Status WriteSnapshot(log::Writer* log);
+
+  void AppendVersion(Version* v);
+
+  const std::string dbname_;
+  const Options* const options_;
+  fs::FileStore* const store_;
+  TableCache* const table_cache_;
+  const InternalKeyComparator icmp_;
+  uint64_t next_file_number_;
+  uint64_t manifest_file_number_;
+  uint64_t last_sequence_;
+  uint64_t log_number_;
+  uint64_t prev_log_number_;  // 0 or backing store for memtable being compacted
+
+  // Opened lazily
+  std::unique_ptr<fs::WritableFile> descriptor_file_;
+  std::unique_ptr<log::Writer> descriptor_log_;
+  uint64_t manifest_bytes_written_ = 0;
+  Version dummy_versions_;  // Head of circular doubly-linked list of versions.
+  Version* current_;        // == dummy_versions_.prev_
+
+  const SetInfoProvider* set_info_ = nullptr;
+
+  // Per-level key at which the next compaction at that level should start.
+  // Either an empty string, or a valid InternalKey.
+  std::vector<std::string> compact_pointer_;
+};
+
+// A Compaction encapsulates information about a compaction.
+class Compaction {
+ public:
+  ~Compaction();
+
+  // Return the level that is being compacted.  Inputs from "level"
+  // and "level+1" will be merged to produce a set of "level+1" files.
+  int level() const { return level_; }
+
+  // The level the outputs are installed into. Usually level()+1, but an
+  // intra-level merge (overlapping last level, SMRDB) outputs in place.
+  int output_level() const { return output_level_; }
+
+  // Return the object that holds the edits to the descriptor done
+  // by this compaction.
+  VersionEdit* edit() { return &edit_; }
+
+  // "which" must be either 0 or 1
+  int num_input_files(int which) const { return inputs_[which].size(); }
+
+  // Return the ith input file at "level()+which" ("which" must be 0 or 1).
+  FileMetaData* input(int which, int i) const { return inputs_[which][i]; }
+
+  // Maximum size of files to build during this compaction.
+  uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
+
+  // Total bytes across all inputs.
+  uint64_t TotalInputBytes() const;
+
+  // Is this a trivial compaction that can be implemented by just
+  // moving a single input file to the next level (no merging or splitting)
+  bool IsTrivialMove() const;
+
+  // Add all inputs to this compaction as delete operations to *edit.
+  void AddInputDeletions(VersionEdit* edit);
+
+  // Returns true if the information we have available guarantees that
+  // the compaction is producing data in "level+1" for which no data exists
+  // in levels greater than "level+1".
+  bool IsBaseLevelForKey(const Slice& user_key);
+
+  // Returns true iff we should stop building the current output
+  // before processing "internal_key".
+  bool ShouldStopBefore(const Slice& internal_key);
+
+  // Release the input version for the compaction, once the compaction
+  // is successful.
+  void ReleaseInputs();
+
+ private:
+  friend class Version;
+  friend class VersionSet;
+
+  Compaction(const Options* options, int level, int output_level);
+
+  int level_;
+  int output_level_;
+  uint64_t max_output_file_size_;
+  Version* input_version_;
+  VersionEdit edit_;
+
+  // Each compaction reads inputs from "level_" and "output_level_".
+  std::vector<FileMetaData*> inputs_[2];  // The two sets of inputs
+
+  // State used to check for number of overlapping grandparent files
+  // (parent == level_ + 1, grandparent == level_ + 2)
+  std::vector<FileMetaData*> grandparents_;
+  size_t grandparent_index_;  // Index in grandparent_starts_
+  bool seen_key_;             // Some output key has been seen
+  int64_t overlapped_bytes_;  // Bytes of overlap between current output
+                              // and grandparent files
+
+  // State for implementing IsBaseLevelForKey
+
+  // level_ptrs_ holds indices into input_version_->levels_: our state
+  // is that we are positioned at one of the file ranges for each
+  // higher level than the ones involved in this compaction (i.e. for
+  // all L >= level_ + 2).
+  std::vector<size_t> level_ptrs_;
+};
+
+}  // namespace sealdb

@@ -1,0 +1,64 @@
+// WriteBatch: an ordered group of Put/Delete operations applied atomically.
+// The serialized representation doubles as the WAL record payload.
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sealdb {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+
+  WriteBatch();
+  ~WriteBatch() = default;
+
+  WriteBatch(const WriteBatch&) = default;
+  WriteBatch& operator=(const WriteBatch&) = default;
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  // Bytes of the serialized representation.
+  size_t ApproximateSize() const;
+
+  // Copies operations from `source` to this batch.
+  void Append(const WriteBatch& source);
+
+  // Replay operations in insertion order into the handler.
+  Status Iterate(Handler* handler) const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;  // header: seq fixed64, count fixed32; then records
+};
+
+// Internal helpers exposed for db_impl and tests.
+class WriteBatchInternal {
+ public:
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+  static uint64_t Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, uint64_t seq);
+
+  static Slice Contents(const WriteBatch* batch) { return Slice(batch->rep_); }
+  static size_t ByteSize(const WriteBatch* batch) { return batch->rep_.size(); }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+};
+
+}  // namespace sealdb

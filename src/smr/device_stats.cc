@@ -1,0 +1,37 @@
+#include "smr/device_stats.h"
+
+#include <cstdio>
+
+namespace sealdb::smr {
+
+DeviceStats DeviceStats::operator-(const DeviceStats& o) const {
+  DeviceStats r;
+  r.logical_bytes_written = logical_bytes_written - o.logical_bytes_written;
+  r.logical_bytes_read = logical_bytes_read - o.logical_bytes_read;
+  r.physical_bytes_written = physical_bytes_written - o.physical_bytes_written;
+  r.physical_bytes_read = physical_bytes_read - o.physical_bytes_read;
+  r.write_ops = write_ops - o.write_ops;
+  r.read_ops = read_ops - o.read_ops;
+  r.rmw_ops = rmw_ops - o.rmw_ops;
+  r.seeks = seeks - o.seeks;
+  r.busy_seconds = busy_seconds - o.busy_seconds;
+  return r;
+}
+
+std::string DeviceStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "logical: %.1f MB written, %.1f MB read; physical: %.1f MB written, "
+      "%.1f MB read; ops: %llu writes, %llu reads, %llu RMW, %llu seeks; "
+      "busy: %.3f s; AWA: %.2f",
+      logical_bytes_written / 1048576.0, logical_bytes_read / 1048576.0,
+      physical_bytes_written / 1048576.0, physical_bytes_read / 1048576.0,
+      static_cast<unsigned long long>(write_ops),
+      static_cast<unsigned long long>(read_ops),
+      static_cast<unsigned long long>(rmw_ops),
+      static_cast<unsigned long long>(seeks), busy_seconds, awa());
+  return buf;
+}
+
+}  // namespace sealdb::smr

@@ -1,0 +1,43 @@
+// Byte accounting across the stack, the basis of the paper's Table I:
+//   WA  = compaction bytes / user bytes            (LSM-tree amplification)
+//   AWA = device physical writes / logical writes  (SMR auxiliary ampl.)
+//   MWA = WA * AWA                                  (multiplicative)
+// The drive layer records logical vs physical traffic; the DB layer records
+// user vs compaction traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sealdb::smr {
+
+struct DeviceStats {
+  // Bytes the host asked the drive to read/write.
+  uint64_t logical_bytes_written = 0;
+  uint64_t logical_bytes_read = 0;
+
+  // Bytes the media actually transferred (includes band read-modify-write).
+  uint64_t physical_bytes_written = 0;
+  uint64_t physical_bytes_read = 0;
+
+  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;
+  uint64_t rmw_ops = 0;       // band read-modify-write events
+  uint64_t seeks = 0;         // non-sequential repositions
+
+  // Simulated device busy time in seconds.
+  double busy_seconds = 0.0;
+
+  // Auxiliary write amplification contributed by the device.
+  double awa() const {
+    return logical_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(physical_bytes_written) /
+                     static_cast<double>(logical_bytes_written);
+  }
+
+  DeviceStats operator-(const DeviceStats& o) const;
+  std::string ToString() const;
+};
+
+}  // namespace sealdb::smr

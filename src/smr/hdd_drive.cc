@@ -1,0 +1,82 @@
+#include "smr/drive.h"
+
+namespace sealdb::smr {
+
+namespace {
+
+// Conventional drive: any aligned write is accepted in place, no
+// amplification. This is the substrate of the paper's Fig. 2 experiment and
+// the Table II "HDD" column.
+class HddDrive final : public Drive {
+ public:
+  HddDrive(const Geometry& geo, const LatencyParams& lat)
+      : geo_(geo), media_(geo), latency_(lat, geo.capacity_bytes) {}
+
+  Status Read(uint64_t offset, uint64_t n, char* scratch) override {
+    if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    if (latency_.head_position() != offset) stats_.seeks++;
+    stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
+    media_.Read(offset, n, scratch);
+    stats_.read_ops++;
+    stats_.logical_bytes_read += n;
+    stats_.physical_bytes_read += n;
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    if (Status s = CheckRange(offset, data.size()); !s.ok()) return s;
+    if (offset + data.size() <= geo_.conventional_bytes) {
+      // Metadata region: absorbed by the write cache.
+      stats_.busy_seconds +=
+          latency_.AccessCached(data.size(), /*is_write=*/true);
+    } else {
+      if (latency_.head_position() != offset) stats_.seeks++;
+      stats_.busy_seconds +=
+          latency_.Access(offset, data.size(), /*is_write=*/true);
+    }
+    media_.Write(offset, data);
+    media_.MarkValid(offset, data.size());
+    stats_.write_ops++;
+    stats_.logical_bytes_written += data.size();
+    stats_.physical_bytes_written += data.size();
+    return Status::OK();
+  }
+
+  Status Trim(uint64_t offset, uint64_t n) override {
+    if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    media_.MarkInvalid(offset, n);
+    return Status::OK();
+  }
+
+  const Geometry& geometry() const override { return geo_; }
+  const DeviceStats& stats() const override { return stats_; }
+
+  bool IsValid(uint64_t offset, uint64_t n) const override {
+    return media_.AllValid(offset, n);
+  }
+
+ private:
+  Status CheckRange(uint64_t offset, uint64_t n) const {
+    if (!geo_.aligned(offset) || !geo_.aligned(n)) {
+      return Status::InvalidArgument("unaligned drive access");
+    }
+    if (offset + n > geo_.capacity_bytes) {
+      return Status::InvalidArgument("drive access beyond capacity");
+    }
+    return Status::OK();
+  }
+
+  Geometry geo_;
+  MediaStore media_;
+  LatencyModel latency_;
+  DeviceStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Drive> NewHddDrive(const Geometry& geo,
+                                   const LatencyParams& lat) {
+  return std::make_unique<HddDrive>(geo, lat);
+}
+
+}  // namespace sealdb::smr

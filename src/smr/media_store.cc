@@ -1,0 +1,107 @@
+#include <cassert>
+#include <cstring>
+
+#include "smr/drive.h"
+
+namespace sealdb::smr {
+
+MediaStore::MediaStore(const Geometry& geo) : geo_(geo) {
+  valid_bits_.assign((geo_.num_blocks() + 63) / 64, 0);
+}
+
+void MediaStore::Write(uint64_t offset, const Slice& data) {
+  const char* src = data.data();
+  uint64_t remaining = data.size();
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    const uint64_t chunk_id = pos / kChunkBytes;
+    const uint64_t in_chunk = pos % kChunkBytes;
+    const uint64_t n = std::min(remaining, kChunkBytes - in_chunk);
+    auto& chunk = chunks_[chunk_id];
+    if (chunk.empty()) chunk.assign(kChunkBytes, 0);
+    std::memcpy(chunk.data() + in_chunk, src, n);
+    src += n;
+    pos += n;
+    remaining -= n;
+  }
+}
+
+void MediaStore::Read(uint64_t offset, uint64_t n, char* scratch) const {
+  uint64_t remaining = n;
+  uint64_t pos = offset;
+  char* dst = scratch;
+  while (remaining > 0) {
+    const uint64_t chunk_id = pos / kChunkBytes;
+    const uint64_t in_chunk = pos % kChunkBytes;
+    const uint64_t m = std::min(remaining, kChunkBytes - in_chunk);
+    auto it = chunks_.find(chunk_id);
+    if (it == chunks_.end()) {
+      std::memset(dst, 0, m);
+    } else {
+      std::memcpy(dst, it->second.data() + in_chunk, m);
+    }
+    dst += m;
+    pos += m;
+    remaining -= m;
+  }
+}
+
+void MediaStore::MarkValid(uint64_t offset, uint64_t n) {
+  const uint64_t first = geo_.block_of(offset);
+  const uint64_t last = geo_.block_of(offset + n - 1);
+  for (uint64_t b = first; b <= last; b++) {
+    valid_bits_[b >> 6] |= (1ull << (b & 63));
+  }
+}
+
+void MediaStore::MarkInvalid(uint64_t offset, uint64_t n) {
+  if (n == 0) return;
+  const uint64_t first = geo_.block_of(offset);
+  const uint64_t last = geo_.block_of(offset + n - 1);
+  for (uint64_t b = first; b <= last; b++) {
+    valid_bits_[b >> 6] &= ~(1ull << (b & 63));
+  }
+}
+
+bool MediaStore::AllValid(uint64_t offset, uint64_t n) const {
+  if (n == 0) return true;
+  const uint64_t first = geo_.block_of(offset);
+  const uint64_t last = geo_.block_of(offset + n - 1);
+  for (uint64_t b = first; b <= last; b++) {
+    if (!BlockValid(b)) return false;
+  }
+  return true;
+}
+
+bool MediaStore::AnyValid(uint64_t offset, uint64_t n) const {
+  if (n == 0) return false;
+  const uint64_t first = geo_.block_of(offset);
+  const uint64_t last = geo_.block_of(offset + n - 1);
+  for (uint64_t b = first; b <= last; b++) {
+    if (BlockValid(b)) return true;
+  }
+  return false;
+}
+
+uint64_t MediaStore::CountValidBytes(uint64_t offset, uint64_t n) const {
+  if (n == 0) return 0;
+  const uint64_t first = geo_.block_of(offset);
+  const uint64_t last = geo_.block_of(offset + n - 1);
+  uint64_t count = 0;
+  for (uint64_t b = first; b <= last; b++) {
+    if (BlockValid(b)) count++;
+  }
+  return count * geo_.block_bytes;
+}
+
+uint64_t MediaStore::ValidFrontier(uint64_t offset, uint64_t n) const {
+  if (n == 0) return offset;
+  const uint64_t first = geo_.block_of(offset);
+  const uint64_t last = geo_.block_of(offset + n - 1);
+  for (uint64_t b = last + 1; b > first; b--) {
+    if (BlockValid(b - 1)) return b * geo_.block_bytes;
+  }
+  return offset;
+}
+
+}  // namespace sealdb::smr

@@ -1,0 +1,60 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace sealdb::crc32c {
+
+namespace {
+
+// Build the 8 lookup tables for slicing-by-8 at first use.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reversed CRC32C polynomial
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      for (int k = 1; k < 8; k++) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Tables& tab = tables();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+
+  // Process 8 bytes at a time (slicing-by-8).
+  while (n >= 8) {
+    uint32_t lo = static_cast<uint32_t>(p[0]) |
+                  (static_cast<uint32_t>(p[1]) << 8) |
+                  (static_cast<uint32_t>(p[2]) << 16) |
+                  (static_cast<uint32_t>(p[3]) << 24);
+    crc ^= lo;
+    crc = tab.t[7][crc & 0xff] ^ tab.t[6][(crc >> 8) & 0xff] ^
+          tab.t[5][(crc >> 16) & 0xff] ^ tab.t[4][crc >> 24] ^
+          tab.t[3][p[4]] ^ tab.t[2][p[5]] ^ tab.t[1][p[6]] ^ tab.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace sealdb::crc32c

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli) checksums, software table-driven implementation.
+// Used by the WAL record format and SSTable block trailers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sealdb::crc32c {
+
+// Return the crc32c of concat(A, data[0,n-1]) where init_crc is the
+// crc32c of some string A.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+static constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+// Masking makes a crc stored alongside the data it covers resilient to
+// the "crc of data that itself contains crcs" problem.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace sealdb::crc32c

@@ -1,0 +1,32 @@
+// FilterPolicy: pluggable per-SSTable key filter. The bloom filter
+// implementation cuts random-read disk probes for absent keys.
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace sealdb {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  // Name persisted in SSTable meta blocks; a mismatch disables filtering.
+  virtual const char* Name() const = 0;
+
+  // keys[0,n-1] contains a list of keys (potentially with duplicates).
+  // Append a filter that summarizes them to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  // Must return true if the key was in the key list passed to CreateFilter;
+  // may return true or false for keys that were not (false positives ok).
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+// Returns a new bloom filter policy using ~bits_per_key bits per key.
+// Caller owns the result. 10 bits/key gives ~1% false positive rate.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace sealdb

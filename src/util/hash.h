@@ -1,0 +1,11 @@
+// Fast non-cryptographic hash used by bloom filters and the LRU cache shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sealdb {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+}  // namespace sealdb

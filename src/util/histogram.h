@@ -1,0 +1,42 @@
+// Latency histogram with exponential-ish bucket boundaries; reports
+// median/percentiles/average for bench output.
+#pragma once
+
+#include <string>
+
+namespace sealdb {
+
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  std::string ToString() const;
+
+  double Median() const;
+  double Percentile(double p) const;
+  double Average() const;
+  double StandardDeviation() const;
+  double Max() const { return max_; }
+  double Min() const { return min_; }
+  double Num() const { return num_; }
+  double Sum() const { return sum_; }
+
+ private:
+  enum { kNumBuckets = 154 };
+
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  double num_;
+  double sum_;
+  double sum_squares_;
+
+  double buckets_[kNumBuckets];
+};
+
+}  // namespace sealdb

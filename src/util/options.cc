@@ -1,0 +1,9 @@
+#include "util/options.h"
+
+#include "util/comparator.h"
+
+namespace sealdb {
+
+Options::Options() : comparator(BytewiseComparator()) {}
+
+}  // namespace sealdb

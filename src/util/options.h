@@ -1,0 +1,103 @@
+// Engine configuration. One Options struct drives all three systems the
+// paper evaluates (LevelDB, SMRDB, SEALDB); src/baselines/presets.h provides
+// the paper's configurations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sealdb {
+
+class Cache;
+class Comparator;
+class FilterPolicy;
+class Snapshot;
+
+// How compaction inputs/outputs are grouped and placed on the device.
+enum class CompactionUnit {
+  // Classic LevelDB: each SSTable is an independent file placed by the
+  // filesystem allocator.
+  kSSTable,
+  // SEALDB: the overlapped SSTables of a compaction form a *set* stored in
+  // one contiguous extent; compaction reads/writes whole sets.
+  kSet,
+};
+
+struct Options {
+  // -------- ordering and correctness --------
+  const Comparator* comparator;  // default: BytewiseComparator()
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+  bool paranoid_checks = false;
+
+  // -------- memory / file sizing (paper Sec. IV defaults, scalable) -------
+  size_t write_buffer_size = 4 * 1024 * 1024;  // memtable budget
+  size_t max_file_size = 4 * 1024 * 1024;      // SSTable target size (4 MB)
+  size_t block_size = 4 * 1024;
+  int block_restart_interval = 16;
+  int max_open_files = 1000;
+
+  // Rotate to a fresh (snapshot-seeded) MANIFEST once the current one
+  // exceeds this size, bounding metadata growth.
+  uint64_t max_manifest_file_size = 1 << 20;
+
+  // If non-null, use this filter policy (e.g. bloom) for table reads.
+  const FilterPolicy* filter_policy = nullptr;
+  // If non-null, use as block cache.
+  Cache* block_cache = nullptr;
+
+  // -------- LSM shape --------
+  int num_levels = 7;
+  // Amplification factor: |L_{i+1}| / |L_i| (paper: 10).
+  double level_size_multiplier = 10.0;
+  // Size budget of L1 in bytes; L_i = base * multiplier^(i-1).
+  uint64_t max_bytes_for_level_base = 10ull * 4 * 1024 * 1024;
+  int level0_compaction_trigger = 4;
+  int level0_slowdown_writes_trigger = 8;
+  int level0_stop_writes_trigger = 12;
+
+  // SMRDB mode: key ranges inside level 1 may overlap (two-level LSM where
+  // L1 behaves like L0 for lookups; compactions L0->L1 merge with every
+  // overlapping run). Enabled by the smrdb preset together with
+  // num_levels = 2 and 40 MB SSTables.
+  bool allow_overlap_last_level = false;
+
+  // Overlapping-last-level mode only: schedule an intra-level merge when
+  // this many runs mutually overlap. Lower values merge more eagerly
+  // (bigger, more frequent compactions).
+  int max_overlap_runs = 4;
+
+  // SEALDB set-aware compaction (paper Sec. III-A).
+  CompactionUnit compaction_unit = CompactionUnit::kSSTable;
+
+  // When picking a compaction at a level, prefer the victim whose set has
+  // the most invalidated victim SSTables recorded in it (paper Sec. III-C
+  // "Delete": implicit fragment reclamation). Only meaningful with kSet.
+  bool prioritize_invalid_sets = true;
+
+  // Minimum invalidated members before a set qualifies for priority
+  // compaction. Low values override the fair rotation too often and
+  // inflate write amplification by re-compacting the same range.
+  int invalid_set_priority_threshold = 5;
+
+  // Run compactions inline on the writing thread (deterministic; used by
+  // tests and benches) instead of a background thread.
+  bool inline_compactions = true;
+
+  Options();
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+  // If non-null, read as of the supplied snapshot.
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  // If true, the WAL write is flushed to the device before acking.
+  bool sync = false;
+};
+
+}  // namespace sealdb

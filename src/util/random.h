@@ -1,0 +1,53 @@
+// Deterministic pseudo-random generator (Lehmer / Park-Miller) so tests,
+// workloads and layout experiments are reproducible across runs.
+#pragma once
+
+#include <cstdint>
+
+namespace sealdb {
+
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    // Avoid the two fixed points of the generator.
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  // Uniform in [0, n-1]. REQUIRES: n > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  // True with probability ~1/n.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  // Skewed: pick base uniformly in [0, max_log], then a uniform value with
+  // that many bits. Favours small numbers.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+  // Uniform 64-bit value composed from two 31-bit draws.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 31) | static_cast<uint64_t>(Next());
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next()) / 2147483647.0;
+  }
+
+ private:
+  uint32_t seed_;
+};
+
+}  // namespace sealdb

@@ -1,0 +1,287 @@
+// Lock-free-read skiplist used by the memtable. Writes require external
+// synchronization; reads only require that the list outlives the reader.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace sealdb {
+
+template <typename Key, class KeyComparator>
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  // Create a new SkipList object that will use "cmp" for comparing keys,
+  // and will allocate memory using "*arena". Objects allocated in the arena
+  // must remain allocated for the lifetime of the skiplist object.
+  explicit SkipList(KeyComparator cmp, Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Insert key into the list. REQUIRES: nothing equal to key is in the list.
+  void Insert(const Key& key);
+
+  // Returns true iff an entry that compares equal to key is in the list.
+  bool Contains(const Key& key) const;
+
+  // Iteration over the contents of a skip list.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+
+    void Prev() {
+      // Instead of using explicit "prev" links, we just search for the
+      // last node that falls before key.
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  enum { kMaxHeight = 12 };
+
+  inline int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  Node* NewNode(const Key& key, int height);
+  int RandomHeight();
+  bool Equal(const Key& a, const Key& b) const {
+    return (compare_(a, b) == 0);
+  }
+
+  // Return true if key is greater than the data stored in "n".
+  bool KeyIsAfterNode(const Key& key, Node* n) const;
+
+  // Return the earliest node that comes at or after key.
+  // Return nullptr if there is no such node.
+  // If prev is non-null, fills prev[level] with pointer to previous
+  // node at "level" for every level in [0..max_height_-1].
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
+
+  // Return the latest node with a key < key.
+  // Return head_ if there is no such node.
+  Node* FindLessThan(const Key& key) const;
+
+  // Return the last node in the list.  Return head_ if list is empty.
+  Node* FindLast() const;
+
+  KeyComparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;  // Height of the entire list
+  Random rnd_;
+};
+
+template <typename Key, class KeyComparator>
+struct SkipList<Key, KeyComparator>::Node {
+  explicit Node(const Key& k) : key(k) {}
+
+  Key const key;
+
+  // Accessors/mutators for links.  Wrapped in methods so we can add
+  // the appropriate barriers as necessary.
+  Node* Next(int n) {
+    assert(n >= 0);
+    // An acquire load so we observe a fully initialized inserted node.
+    return next_[n].load(std::memory_order_acquire);
+  }
+
+  void SetNext(int n, Node* x) {
+    assert(n >= 0);
+    next_[n].store(x, std::memory_order_release);
+  }
+
+  // No-barrier variants that can be safely used in a few locations.
+  Node* NoBarrier_Next(int n) {
+    assert(n >= 0);
+    return next_[n].load(std::memory_order_relaxed);
+  }
+
+  void NoBarrier_SetNext(int n, Node* x) {
+    assert(n >= 0);
+    next_[n].store(x, std::memory_order_relaxed);
+  }
+
+ private:
+  // Array of length equal to the node height.  next_[0] is lowest level link.
+  std::atomic<Node*> next_[1];
+};
+
+template <typename Key, class KeyComparator>
+typename SkipList<Key, KeyComparator>::Node*
+SkipList<Key, KeyComparator>::NewNode(const Key& key, int height) {
+  char* const node_memory = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class KeyComparator>
+int SkipList<Key, KeyComparator>::RandomHeight() {
+  // Increase height with probability 1 in kBranching
+  static const unsigned int kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    height++;
+  }
+  assert(height > 0);
+  assert(height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class KeyComparator>
+bool SkipList<Key, KeyComparator>::KeyIsAfterNode(const Key& key,
+                                                  Node* n) const {
+  // null n is considered infinite
+  return (n != nullptr) && (compare_(n->key, key) < 0);
+}
+
+template <typename Key, class KeyComparator>
+typename SkipList<Key, KeyComparator>::Node*
+SkipList<Key, KeyComparator>::FindGreaterOrEqual(const Key& key,
+                                                 Node** prev) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      // Keep searching in this list
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) {
+        return next;
+      } else {
+        // Switch to next list
+        level--;
+      }
+    }
+  }
+}
+
+template <typename Key, class KeyComparator>
+typename SkipList<Key, KeyComparator>::Node*
+SkipList<Key, KeyComparator>::FindLessThan(const Key& key) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    assert(x == head_ || compare_(x->key, key) < 0);
+    Node* next = x->Next(level);
+    if (next == nullptr || compare_(next->key, key) >= 0) {
+      if (level == 0) {
+        return x;
+      } else {
+        // Switch to next list
+        level--;
+      }
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class KeyComparator>
+typename SkipList<Key, KeyComparator>::Node*
+SkipList<Key, KeyComparator>::FindLast() const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr) {
+      if (level == 0) {
+        return x;
+      } else {
+        // Switch to next list
+        level--;
+      }
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class KeyComparator>
+SkipList<Key, KeyComparator>::SkipList(KeyComparator cmp, Arena* arena)
+    : compare_(cmp),
+      arena_(arena),
+      head_(NewNode(0 /* any key will do */, kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef) {
+  for (int i = 0; i < kMaxHeight; i++) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+template <typename Key, class KeyComparator>
+void SkipList<Key, KeyComparator>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+
+  // Our data structure does not allow duplicate insertion
+  assert(x == nullptr || !Equal(key, x->key));
+
+  int height = RandomHeight();
+  if (height > GetMaxHeight()) {
+    for (int i = GetMaxHeight(); i < height; i++) {
+      prev[i] = head_;
+    }
+    // It is ok to mutate max_height_ without any synchronization with
+    // concurrent readers: an old value is self-consistent.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  x = NewNode(key, height);
+  for (int i = 0; i < height; i++) {
+    // NoBarrier_SetNext() suffices since we will add a barrier when
+    // we publish a pointer to "x" in prev[i].
+    x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
+    prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class KeyComparator>
+bool SkipList<Key, KeyComparator>::Contains(const Key& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && Equal(key, x->key);
+}
+
+}  // namespace sealdb

@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+namespace sealdb {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2)
+    : rep_(std::make_shared<Rep>()) {
+  rep_->code = code;
+  rep_->msg.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    rep_->msg.append(": ");
+    rep_->msg.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  if (rep_ == nullptr) return "OK";
+  const char* type;
+  switch (rep_->code) {
+    case kOk:
+      type = "OK";
+      break;
+    case kNotFound:
+      type = "NotFound: ";
+      break;
+    case kCorruption:
+      type = "Corruption: ";
+      break;
+    case kNotSupported:
+      type = "Not implemented: ";
+      break;
+    case kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case kIOError:
+      type = "IO error: ";
+      break;
+    case kNoSpace:
+      type = "No space: ";
+      break;
+    default:
+      type = "Unknown code: ";
+      break;
+  }
+  return std::string(type) + rep_->msg;
+}
+
+}  // namespace sealdb

@@ -1,0 +1,69 @@
+// Status: result of an operation — OK or an error code with a message.
+// Cheap to copy in the OK case (single pointer).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+
+namespace sealdb {
+
+class Status {
+ public:
+  Status() noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+  static Status NoSpace(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNoSpace, msg, msg2);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == kNotFound; }
+  bool IsCorruption() const { return code() == kCorruption; }
+  bool IsIOError() const { return code() == kIOError; }
+  bool IsNotSupported() const { return code() == kNotSupported; }
+  bool IsInvalidArgument() const { return code() == kInvalidArgument; }
+  bool IsNoSpace() const { return code() == kNoSpace; }
+
+  std::string ToString() const;
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kNoSpace = 6,
+  };
+
+  struct Rep {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code() const { return rep_ == nullptr ? kOk : rep_->code; }
+
+  std::shared_ptr<Rep> rep_;  // null means OK
+};
+
+}  // namespace sealdb

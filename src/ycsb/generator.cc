@@ -1,0 +1,70 @@
+#include "ycsb/generator.h"
+
+#include <cmath>
+
+namespace sealdb::ycsb {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double zipfian_const,
+                                   uint32_t seed)
+    : num_items_(num_items), theta_(zipfian_const), rnd_(seed) {
+  zeta_n_ = Zeta(num_items_, theta_);
+  zeta_n_items_ = num_items_;
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(num_items_), 1 - theta_)) /
+         (1 - zeta2_ / zeta_n_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(uint64_t num) {
+  if (num != zeta_n_items_) {
+    // Incremental recompute is possible; for our sizes a full recompute on
+    // growth steps (amortized by the caller) is acceptable only for small
+    // n, so extend incrementally instead.
+    if (num > zeta_n_items_) {
+      for (uint64_t i = zeta_n_items_ + 1; i <= num; i++) {
+        zeta_n_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+      }
+      zeta_n_items_ = num;
+    } else {
+      zeta_n_ = Zeta(num, theta_);
+      zeta_n_items_ = num;
+    }
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(num), 1 - theta_)) /
+           (1 - zeta2_ / zeta_n_);
+  }
+
+  const double u = rnd_.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    last_ = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    last_ = 1;
+  } else {
+    last_ = static_cast<uint64_t>(
+        static_cast<double>(num) * std::pow(eta_ * u - eta_ + 1, alpha_));
+    if (last_ >= num) last_ = num - 1;
+  }
+  return last_;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  const uint64_t z = zipfian_.Next();
+  last_ = FnvHash64(z) % num_items_;
+  return last_;
+}
+
+uint64_t SkewedLatestGenerator::Next() {
+  const uint64_t max = counter_->Last();
+  last_ = max - zipfian_.Next(max + 1);
+  return last_;
+}
+
+}  // namespace sealdb::ycsb

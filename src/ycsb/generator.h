@@ -1,0 +1,119 @@
+// YCSB request generators: uniform, zipfian (Gray et al. incremental
+// algorithm, as in the reference YCSB core), scrambled zipfian, latest,
+// and a monotonic counter for inserts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace sealdb::ycsb {
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  virtual uint64_t Next() = 0;
+  virtual uint64_t Last() = 0;
+};
+
+class UniformGenerator : public Generator {
+ public:
+  // Uniform over [lb, ub] inclusive.
+  UniformGenerator(uint64_t lb, uint64_t ub, uint32_t seed = 7)
+      : lb_(lb), ub_(ub), rnd_(seed), last_(lb) {}
+
+  uint64_t Next() override {
+    last_ = lb_ + rnd_.Next64() % (ub_ - lb_ + 1);
+    return last_;
+  }
+  uint64_t Last() override { return last_; }
+
+ private:
+  uint64_t lb_, ub_;
+  Random rnd_;
+  uint64_t last_;
+};
+
+class CounterGenerator : public Generator {
+ public:
+  explicit CounterGenerator(uint64_t start) : counter_(start) {}
+  uint64_t Next() override { return counter_.fetch_add(1); }
+  uint64_t Last() override { return counter_.load() - 1; }
+  void Set(uint64_t start) { counter_.store(start); }
+
+ private:
+  std::atomic<uint64_t> counter_;
+};
+
+// Zipfian over [0, n). Skew constant 0.99 like the YCSB default. Supports
+// growing n (used by the latest distribution).
+class ZipfianGenerator : public Generator {
+ public:
+  static constexpr double kZipfianConst = 0.99;
+
+  ZipfianGenerator(uint64_t num_items, double zipfian_const = kZipfianConst,
+                   uint32_t seed = 11);
+
+  uint64_t Next() override { return Next(num_items_); }
+  uint64_t Next(uint64_t num);
+  uint64_t Last() override { return last_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t num_items_;
+  double theta_;
+  double zeta_n_;
+  uint64_t zeta_n_items_;  // n for which zeta_n_ was computed
+  double alpha_, zeta2_, eta_;
+  Random rnd_;
+  uint64_t last_ = 0;
+};
+
+// Zipfian with the popular items scattered across the key space by a hash.
+class ScrambledZipfianGenerator : public Generator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, uint32_t seed = 13)
+      : num_items_(num_items), zipfian_(num_items,
+                                        ZipfianGenerator::kZipfianConst,
+                                        seed) {}
+
+  uint64_t Next() override;
+  uint64_t Last() override { return last_; }
+
+ private:
+  uint64_t num_items_;
+  ZipfianGenerator zipfian_;
+  uint64_t last_ = 0;
+};
+
+// Skewed toward the most recently inserted items (YCSB workload D).
+class SkewedLatestGenerator : public Generator {
+ public:
+  explicit SkewedLatestGenerator(CounterGenerator* counter, uint32_t seed = 17)
+      : counter_(counter), zipfian_(counter->Last() + 1,
+                                    ZipfianGenerator::kZipfianConst, seed) {}
+
+  uint64_t Next() override;
+  uint64_t Last() override { return last_; }
+
+ private:
+  CounterGenerator* counter_;
+  ZipfianGenerator zipfian_;
+  uint64_t last_ = 0;
+};
+
+// FNV-style 64-bit hash used to scramble zipfian picks.
+inline uint64_t FnvHash64(uint64_t val) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; i++) {
+    uint64_t octet = val & 0xff;
+    val >>= 8;
+    hash ^= octet;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace sealdb::ycsb

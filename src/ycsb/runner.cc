@@ -1,0 +1,97 @@
+#include "ycsb/runner.h"
+
+#include <memory>
+
+#include "baselines/presets.h"
+#include "lsm/iterator.h"
+
+namespace sealdb::ycsb {
+
+Status Runner::Load(uint64_t record_count, RunResult* result) {
+  *result = RunResult();
+  result->workload = "Load";
+  CoreWorkload workload(WorkloadSpec::Load(), 0, key_bytes_, value_bytes_,
+                        seed_);
+  DB* db = stack_->db();
+  const double device_before = stack_->device_stats().busy_seconds;
+  WriteOptions wo;
+  for (uint64_t i = 0; i < record_count; i++) {
+    Status s = db->Put(wo, workload.NextInsertKey(), workload.NextValue());
+    if (!s.ok()) return s;
+    result->inserts++;
+    result->operations++;
+  }
+  db->WaitForIdle();
+  result->device_seconds =
+      stack_->device_stats().busy_seconds - device_before;
+  return Status::OK();
+}
+
+Status Runner::Run(const WorkloadSpec& spec, uint64_t record_count,
+                   uint64_t op_count, RunResult* result) {
+  *result = RunResult();
+  result->workload = spec.name;
+  CoreWorkload workload(spec, record_count, key_bytes_, value_bytes_,
+                        seed_ + 100);
+  DB* db = stack_->db();
+  const double device_before = stack_->device_stats().busy_seconds;
+  WriteOptions wo;
+  ReadOptions ro;
+  std::string value;
+
+  for (uint64_t i = 0; i < op_count; i++) {
+    switch (workload.NextOperation()) {
+      case Operation::kRead: {
+        Status s = db->Get(ro, workload.NextRequestKey(), &value);
+        if (s.IsNotFound()) {
+          result->not_found++;
+        } else if (!s.ok()) {
+          return s;
+        }
+        result->reads++;
+        break;
+      }
+      case Operation::kUpdate: {
+        Status s =
+            db->Put(wo, workload.NextRequestKey(), workload.NextValue());
+        if (!s.ok()) return s;
+        result->updates++;
+        break;
+      }
+      case Operation::kInsert: {
+        Status s = db->Put(wo, workload.NextInsertKey(), workload.NextValue());
+        if (!s.ok()) return s;
+        result->inserts++;
+        break;
+      }
+      case Operation::kScan: {
+        std::unique_ptr<Iterator> it(db->NewIterator(ro));
+        int len = workload.NextScanLength();
+        for (it->Seek(workload.NextRequestKey()); it->Valid() && len > 0;
+             it->Next(), len--) {
+          value.assign(it->value().data(), it->value().size());
+        }
+        if (!it->status().ok()) return it->status();
+        result->scans++;
+        break;
+      }
+      case Operation::kReadModifyWrite: {
+        const std::string key = workload.NextRequestKey();
+        Status s = db->Get(ro, key, &value);
+        if (!s.ok() && !s.IsNotFound()) return s;
+        if (s.IsNotFound()) result->not_found++;
+        s = db->Put(wo, key, workload.NextValue());
+        if (!s.ok()) return s;
+        result->rmws++;
+        break;
+      }
+    }
+    result->operations++;
+  }
+  db->WaitForIdle();
+  result->device_seconds =
+      stack_->device_stats().busy_seconds - device_before;
+  return Status::OK();
+}
+
+}  // namespace sealdb::ycsb

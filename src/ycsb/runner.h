@@ -1,0 +1,52 @@
+// YCSB runner: drives a workload against a DB and reports throughput in
+// simulated device time (the disk-bound metric the paper's Fig. 9 plots).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/db.h"
+#include "util/histogram.h"
+#include "ycsb/workload.h"
+
+namespace sealdb::baselines {
+class Stack;
+}
+
+namespace sealdb::ycsb {
+
+struct RunResult {
+  std::string workload;
+  uint64_t operations = 0;
+  uint64_t reads = 0, updates = 0, inserts = 0, scans = 0, rmws = 0;
+  uint64_t not_found = 0;
+  double device_seconds = 0.0;  // simulated drive busy time consumed
+
+  double ops_per_second() const {
+    return device_seconds > 0 ? operations / device_seconds : 0.0;
+  }
+};
+
+class Runner {
+ public:
+  Runner(baselines::Stack* stack, size_t key_bytes, size_t value_bytes,
+         uint32_t seed = 42)
+      : stack_(stack), key_bytes_(key_bytes), value_bytes_(value_bytes),
+        seed_(seed) {}
+
+  // Load `record_count` entries (YCSB load phase).
+  Status Load(uint64_t record_count, RunResult* result);
+
+  // Run `op_count` operations of the given workload against a database
+  // previously loaded with `record_count` entries.
+  Status Run(const WorkloadSpec& spec, uint64_t record_count,
+             uint64_t op_count, RunResult* result);
+
+ private:
+  baselines::Stack* stack_;
+  size_t key_bytes_;
+  size_t value_bytes_;
+  uint32_t seed_;
+};
+
+}  // namespace sealdb::ycsb

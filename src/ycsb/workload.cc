@@ -1,0 +1,156 @@
+#include "ycsb/workload.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sealdb::ycsb {
+
+WorkloadSpec WorkloadSpec::A() {
+  WorkloadSpec s;
+  s.name = "A";
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::B() {
+  WorkloadSpec s;
+  s.name = "B";
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec s;
+  s.name = "C";
+  s.read_proportion = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::D() {
+  WorkloadSpec s;
+  s.name = "D";
+  s.read_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  s.request_distribution = Distribution::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::E() {
+  WorkloadSpec s;
+  s.name = "E";
+  s.scan_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::F() {
+  WorkloadSpec s;
+  s.name = "F";
+  s.read_proportion = 0.5;
+  s.rmw_proportion = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::Load() {
+  WorkloadSpec s;
+  s.name = "Load";
+  s.insert_proportion = 1.0;
+  s.request_distribution = Distribution::kUniform;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ByName(const std::string& name) {
+  if (name == "A" || name == "a") return A();
+  if (name == "B" || name == "b") return B();
+  if (name == "C" || name == "c") return C();
+  if (name == "D" || name == "d") return D();
+  if (name == "E" || name == "e") return E();
+  if (name == "F" || name == "f") return F();
+  if (name == "Load" || name == "load") return Load();
+  throw std::invalid_argument("unknown YCSB workload: " + name);
+}
+
+CoreWorkload::CoreWorkload(const WorkloadSpec& spec, uint64_t record_count,
+                           size_t key_bytes, size_t value_bytes, uint32_t seed)
+    : spec_(spec),
+      record_count_(record_count),
+      key_bytes_(key_bytes),
+      value_bytes_(value_bytes),
+      op_rnd_(seed),
+      value_rnd_(seed + 1),
+      scan_rnd_(seed + 2),
+      insert_counter_(record_count) {
+  switch (spec_.request_distribution) {
+    case Distribution::kUniform:
+      request_gen_ = std::make_unique<UniformGenerator>(
+          0, record_count_ > 0 ? record_count_ - 1 : 0, seed + 3);
+      break;
+    case Distribution::kZipfian:
+      request_gen_ =
+          std::make_unique<ScrambledZipfianGenerator>(record_count_,
+                                                      seed + 3);
+      break;
+    case Distribution::kLatest:
+      request_gen_ =
+          std::make_unique<SkewedLatestGenerator>(&insert_counter_, seed + 3);
+      break;
+  }
+}
+
+Operation CoreWorkload::NextOperation() {
+  double p = op_rnd_.NextDouble();
+  if ((p -= spec_.read_proportion) < 0) return Operation::kRead;
+  if ((p -= spec_.update_proportion) < 0) return Operation::kUpdate;
+  if ((p -= spec_.insert_proportion) < 0) return Operation::kInsert;
+  if ((p -= spec_.scan_proportion) < 0) return Operation::kScan;
+  return Operation::kReadModifyWrite;
+}
+
+std::string CoreWorkload::BuildKey(uint64_t id) const {
+  // YCSB-style key: "user" + zero-padded FNV-hashed id (insertorder=hashed,
+  // the YCSB default), truncated/padded to the configured key size
+  // (paper: 16 bytes). Hashing makes the load phase a *random* load.
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "user%012llu",
+                              static_cast<unsigned long long>(
+                                  FnvHash64(id) % 1000000000000ull));
+  std::string key(buf, n);
+  if (key.size() < key_bytes_) {
+    key.append(key_bytes_ - key.size(), 'k');
+  } else if (key.size() > key_bytes_) {
+    key.resize(key_bytes_);
+  }
+  return key;
+}
+
+std::string CoreWorkload::NextRequestKey() {
+  uint64_t id = request_gen_->Next();
+  // Bound by the number of records actually inserted so far.
+  const uint64_t limit = insert_counter_.Last();
+  if (id > limit) id = limit;
+  return BuildKey(id);
+}
+
+std::string CoreWorkload::NextInsertKey() {
+  return BuildKey(insert_counter_.Next());
+}
+
+int CoreWorkload::NextScanLength() {
+  return 1 + scan_rnd_.Uniform(spec_.max_scan_length);
+}
+
+std::string CoreWorkload::NextValue() {
+  std::string value;
+  value.reserve(value_bytes_);
+  while (value.size() + 4 <= value_bytes_) {
+    const uint32_t word = value_rnd_.Next();
+    value.append(reinterpret_cast<const char*>(&word), 4);
+  }
+  while (value.size() < value_bytes_) value.push_back('v');
+  return value;
+}
+
+}  // namespace sealdb::ycsb

@@ -1,0 +1,76 @@
+// YCSB core workload: operation mix + request distribution + key/value
+// shaping, with the standard A-F presets the paper's Fig. 9 uses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "ycsb/generator.h"
+
+namespace sealdb::ycsb {
+
+enum class Operation { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+enum class Distribution { kUniform, kZipfian, kLatest };
+
+struct WorkloadSpec {
+  std::string name;
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  Distribution request_distribution = Distribution::kZipfian;
+  int max_scan_length = 100;
+
+  // The standard presets (proportions follow the YCSB distribution and the
+  // descriptions in the paper's Fig. 9 caption).
+  static WorkloadSpec A();  // 50% read, 50% update, zipfian
+  static WorkloadSpec B();  // 95% read,  5% update, zipfian
+  static WorkloadSpec C();  // 100% read, zipfian
+  static WorkloadSpec D();  // 95% read,  5% insert, latest
+  static WorkloadSpec E();  // 95% scan,  5% insert, zipfian
+  static WorkloadSpec F();  // 50% read, 50% read-modify-write, zipfian
+  static WorkloadSpec Load();  // 100% insert (load phase)
+
+  static WorkloadSpec ByName(const std::string& name);
+};
+
+// Stateful workload: produces (operation, key) pairs and deterministic
+// values. Single-threaded use.
+class CoreWorkload {
+ public:
+  CoreWorkload(const WorkloadSpec& spec, uint64_t record_count,
+               size_t key_bytes, size_t value_bytes, uint32_t seed = 42);
+
+  Operation NextOperation();
+
+  // Key for a read/update/scan/rmw request per the request distribution.
+  std::string NextRequestKey();
+
+  // Key for the next insert (load phase or insert ops).
+  std::string NextInsertKey();
+
+  int NextScanLength();
+
+  // Deterministic-length pseudo-random value payload.
+  std::string NextValue();
+
+  std::string BuildKey(uint64_t id) const;
+
+  uint64_t record_count() const { return record_count_; }
+
+ private:
+  WorkloadSpec spec_;
+  uint64_t record_count_;
+  size_t key_bytes_;
+  size_t value_bytes_;
+  Random op_rnd_;
+  Random value_rnd_;
+  Random scan_rnd_;
+  CounterGenerator insert_counter_;
+  std::unique_ptr<Generator> request_gen_;
+};
+
+}  // namespace sealdb::ycsb

@@ -1,0 +1,443 @@
+// Tests for the placement layer: FreeMap, the ext4-like and band-aligned
+// allocators, and — most importantly — the paper's DynamicBandAllocator
+// (Eq. 1, split/coalesce, guard attachment, residual frontier, recovery).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/dynamic_band_allocator.h"
+#include "fs/ext4_allocator.h"
+#include "fs/free_map.h"
+#include "util/random.h"
+
+namespace sealdb {
+
+using core::DynamicBandAllocator;
+using core::DynamicBandOptions;
+using fs::Extent;
+using fs::FreeMap;
+
+// ------------------------------------------------------------- FreeMap
+
+TEST(FreeMap, AllocateAndFree) {
+  FreeMap fm;
+  fm.Reset(0, 1000);
+  EXPECT_EQ(fm.free_bytes(), 1000u);
+
+  uint64_t off;
+  ASSERT_TRUE(fm.Allocate(100, &off));
+  EXPECT_EQ(off, 0u);
+  EXPECT_EQ(fm.free_bytes(), 900u);
+
+  ASSERT_TRUE(fm.Allocate(100, &off));
+  EXPECT_EQ(off, 100u);
+
+  fm.Free(0, 100);
+  EXPECT_EQ(fm.free_bytes(), 900u);
+  ASSERT_TRUE(fm.Allocate(50, &off));
+  EXPECT_EQ(off, 0u);  // first fit reuses the hole
+}
+
+TEST(FreeMap, Coalescing) {
+  FreeMap fm;
+  fm.Reset(0, 300);
+  uint64_t a, b, c;
+  ASSERT_TRUE(fm.Allocate(100, &a));
+  ASSERT_TRUE(fm.Allocate(100, &b));
+  ASSERT_TRUE(fm.Allocate(100, &c));
+  EXPECT_EQ(fm.free_bytes(), 0u);
+  fm.Free(a, 100);
+  fm.Free(c, 100);
+  fm.Free(b, 100);  // merges with both neighbours
+  uint64_t off;
+  ASSERT_TRUE(fm.Allocate(300, &off));
+  EXPECT_EQ(off, 0u);
+}
+
+TEST(FreeMap, RangedAllocation) {
+  FreeMap fm;
+  fm.Reset(0, 1000);
+  uint64_t off;
+  ASSERT_TRUE(fm.AllocateInRange(100, 500, 700, &off));
+  EXPECT_GE(off, 500u);
+  EXPECT_LE(off + 100, 700u);
+  EXPECT_FALSE(fm.AllocateInRange(300, 500, 700, &off));  // only 100 left
+}
+
+TEST(FreeMap, Carve) {
+  FreeMap fm;
+  fm.Reset(0, 1000);
+  ASSERT_TRUE(fm.Carve(200, 100).ok());
+  EXPECT_EQ(fm.free_bytes(), 900u);
+  // Carving an already-carved range fails.
+  EXPECT_FALSE(fm.Carve(250, 10).ok());
+  // The hole is skipped by allocation.
+  uint64_t off;
+  ASSERT_TRUE(fm.Allocate(250, &off));
+  EXPECT_EQ(off, 300u);  // [0,200) too small? No: 200 >= 250 is false -> next
+}
+
+// ------------------------------------------------------------- ext4-like
+
+TEST(Ext4Allocator, FirstFitReusesFreedHoles) {
+  // Ext4 fills from the front of the disk: freed holes are reused before
+  // virgin space, which is what scatters a churning database's files over
+  // its initial span (paper Fig. 2).
+  fs::Ext4Options opt;
+  opt.block_group_bytes = 1 << 20;
+  auto alloc = fs::NewExt4Allocator(0, 64 << 20, 4096, opt);
+  std::vector<Extent> extents;
+  for (int i = 0; i < 16; i++) {
+    Extent e;
+    ASSERT_TRUE(alloc->Allocate(64 << 10, &e).ok());
+    extents.push_back(e);
+  }
+  // Sequential creation is laid out front-to-back.
+  for (int i = 1; i < 16; i++) {
+    EXPECT_EQ(extents[i].offset, extents[i - 1].end());
+  }
+  // Free every other extent and allocate again: the holes are reused.
+  std::set<uint64_t> holes;
+  for (int i = 0; i < 16; i += 2) {
+    holes.insert(extents[i].offset);
+    alloc->Free(extents[i]);
+  }
+  for (int i = 0; i < 8; i++) {
+    Extent e;
+    ASSERT_TRUE(alloc->Allocate(64 << 10, &e).ok());
+    EXPECT_TRUE(holes.count(e.offset) == 1) << "expected hole reuse";
+  }
+}
+
+TEST(Ext4Allocator, AllocateNearExtendsAtGoal) {
+  fs::Ext4Options opt;
+  opt.block_group_bytes = 1 << 20;
+  auto alloc = fs::NewExt4Allocator(0, 64 << 20, 4096, opt);
+  Extent a;
+  ASSERT_TRUE(alloc->Allocate(64 << 10, &a).ok());
+  // Goal free: extension lands exactly at the goal.
+  Extent b;
+  ASSERT_TRUE(alloc->AllocateNear(64 << 10, a.end(), &b).ok());
+  EXPECT_EQ(b.offset, a.end());
+  // Occupy the goal, then AllocateNear falls back to the same group.
+  Extent c;
+  ASSERT_TRUE(alloc->AllocateNear(64 << 10, a.end(), &c).ok());
+  EXPECT_NE(c.offset, a.end());
+  EXPECT_EQ(c.offset / (1 << 20), a.offset / (1 << 20));
+}
+
+TEST(Ext4Allocator, FreeAndReuse) {
+  fs::Ext4Options opt;
+  auto alloc = fs::NewExt4Allocator(0, 16 << 20, 4096, opt);
+  Extent e;
+  ASSERT_TRUE(alloc->Allocate(1 << 20, &e).ok());
+  EXPECT_EQ(alloc->allocated_bytes(), 1u << 20);
+  alloc->Free(e);
+  EXPECT_EQ(alloc->allocated_bytes(), 0u);
+}
+
+TEST(Ext4Allocator, Shrink) {
+  fs::Ext4Options opt;
+  auto alloc = fs::NewExt4Allocator(0, 16 << 20, 4096, opt);
+  Extent e;
+  ASSERT_TRUE(alloc->Allocate(1 << 20, &e).ok());
+  alloc->Shrink(&e, 256 << 10);
+  EXPECT_EQ(e.length, 256u << 10);
+  EXPECT_EQ(alloc->allocated_bytes(), 256u << 10);
+}
+
+TEST(Ext4Allocator, NoSpace) {
+  fs::Ext4Options opt;
+  auto alloc = fs::NewExt4Allocator(0, 1 << 20, 4096, opt);
+  Extent e;
+  EXPECT_TRUE(alloc->Allocate(2 << 20, &e).IsNoSpace());
+}
+
+TEST(BandAlignedAllocator, RoundsToWholeBands) {
+  auto alloc = fs::NewBandAlignedAllocator(0, 64 << 20, 8 << 20);
+  Extent e;
+  ASSERT_TRUE(alloc->Allocate(5 << 20, &e).ok());
+  EXPECT_EQ(e.length, 8u << 20);
+  EXPECT_EQ(e.offset % (8 << 20), 0u);
+
+  Extent e2;
+  ASSERT_TRUE(alloc->Allocate(9 << 20, &e2).ok());
+  EXPECT_EQ(e2.length, 16u << 20);
+}
+
+// ----------------------------------------------------- dynamic bands
+
+class DynamicBandTest : public ::testing::Test {
+ protected:
+  DynamicBandTest() {
+    opt_.base = 8 << 20;
+    opt_.limit = 512ull << 20;
+    opt_.track_bytes = 1 << 20;
+    opt_.guard_bytes = 4 << 20;
+    opt_.class_unit = 4 << 20;
+    alloc_ = std::make_unique<DynamicBandAllocator>(opt_);
+  }
+
+  void CheckInvariants() {
+    std::string why;
+    ASSERT_TRUE(alloc_->CheckInvariants(&why)) << why;
+  }
+
+  DynamicBandOptions opt_;
+  std::unique_ptr<DynamicBandAllocator> alloc_;
+};
+
+TEST_F(DynamicBandTest, AppendsAtFrontierInitially) {
+  Extent a, b;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &b).ok());
+  EXPECT_EQ(a.offset, opt_.base);
+  // Appends are back to back: no guard between consecutively appended sets.
+  EXPECT_EQ(b.offset, a.offset + a.length);
+  EXPECT_EQ(a.guard, 0u);
+  EXPECT_EQ(b.guard, 0u);
+  EXPECT_EQ(alloc_->appends(), 2u);
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, RoundsToTracks) {
+  Extent e;
+  ASSERT_TRUE(alloc_->Allocate((4 << 20) + 1, &e).ok());
+  EXPECT_EQ(e.length, 5u << 20);
+}
+
+TEST_F(DynamicBandTest, Equation1GatesInserts) {
+  // Lay down A | B | C, free B (8 MB hole), then check insert sizing.
+  Extent a, b, c;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(8 << 20, &b).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &c).ok());
+  alloc_->Free(b);
+  CheckInvariants();
+
+  // An 8 MB request does NOT fit the 8 MB hole (Eq. 1: needs 8+4 guard).
+  Extent d;
+  ASSERT_TRUE(alloc_->Allocate(8 << 20, &d).ok());
+  EXPECT_NE(d.offset, b.offset);  // went to the frontier instead
+  EXPECT_EQ(alloc_->appends(), 4u);
+
+  // A 4 MB request fits: 4 data + 4 guard == 8 free (exact fit).
+  Extent e;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &e).ok());
+  EXPECT_EQ(e.offset, b.offset);
+  EXPECT_EQ(e.guard, 4u << 20);  // remainder became the guard
+  EXPECT_EQ(alloc_->inserts(), 1u);
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, SplitReturnsRemainderToFreeList) {
+  // Free a 20 MB hole, insert 4 MB: remainder 16 MB returns to the list.
+  Extent a, b, c;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(20 << 20, &b).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &c).ok());
+  alloc_->Free(b);
+
+  Extent d;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &d).ok());
+  EXPECT_EQ(d.offset, b.offset);
+  EXPECT_EQ(d.guard, 0u);  // remainder acts as the separation
+  auto regions = alloc_->FreeRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].offset, d.offset + d.length);
+  EXPECT_EQ(regions[0].length, 16u << 20);
+  CheckInvariants();
+
+  // Fig. 7 step (4): an 8 MB set fits the 16 MB remainder with 4 guard,
+  // leaving a 4 MB tail which becomes its guard.
+  Extent e;
+  ASSERT_TRUE(alloc_->Allocate(8 << 20, &e).ok());
+  EXPECT_EQ(e.offset, d.offset + d.length);
+  // remainder after e: 16-8 = 8 MB >= guard+track, so it's re-listed.
+  EXPECT_EQ(e.guard, 0u);
+  regions = alloc_->FreeRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].length, 8u << 20);
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, CoalesceAdjacentFreeRegions) {
+  Extent a, b, c, d;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &b).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &c).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &d).ok());
+  alloc_->Free(a);
+  alloc_->Free(c);
+  EXPECT_EQ(alloc_->FreeRegions().size(), 2u);
+  alloc_->Free(b);  // bridges a and c
+  auto regions = alloc_->FreeRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].offset, a.offset);
+  EXPECT_EQ(regions[0].length, 12u << 20);
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, FreeingTailRollsBackFrontier) {
+  Extent a, b;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &b).ok());
+  const uint64_t frontier = alloc_->frontier();
+  alloc_->Free(b);
+  EXPECT_EQ(alloc_->frontier(), frontier - b.length);
+  alloc_->Free(a);
+  EXPECT_EQ(alloc_->frontier(), opt_.base);
+  EXPECT_TRUE(alloc_->FreeRegions().empty());
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, FreeBridgingToFrontierUnbands) {
+  Extent a, b, c;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &b).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &c).ok());
+  alloc_->Free(b);
+  alloc_->Free(c);  // c's free region merges with b's and hits the frontier
+  EXPECT_EQ(alloc_->frontier(), a.offset + a.length);
+  EXPECT_TRUE(alloc_->FreeRegions().empty());
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, GuardFreedWithAllocation) {
+  Extent a, b, c;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(8 << 20, &b).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &c).ok());
+  alloc_->Free(b);
+  Extent d;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &d).ok());
+  ASSERT_EQ(d.guard, 4u << 20);
+  EXPECT_EQ(alloc_->guard_bytes_attached(), 4u << 20);
+  alloc_->Free(d);  // returns data + guard as one region
+  EXPECT_EQ(alloc_->guard_bytes_attached(), 0u);
+  auto regions = alloc_->FreeRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].length, 8u << 20);
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, ShrinkReleasesTail) {
+  Extent a, b;
+  ASSERT_TRUE(alloc_->Allocate(16 << 20, &a).ok());
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &b).ok());
+  alloc_->Shrink(&a, 6 << 20);
+  EXPECT_EQ(a.length, 6u << 20);
+  auto regions = alloc_->FreeRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].offset, a.offset + a.length);
+  EXPECT_EQ(regions[0].length, 10u << 20);
+  CheckInvariants();
+}
+
+TEST_F(DynamicBandTest, ShrinkLastAllocationRollsBackFrontier) {
+  Extent a;
+  ASSERT_TRUE(alloc_->Allocate(16 << 20, &a).ok());
+  alloc_->Shrink(&a, 6 << 20);
+  EXPECT_EQ(alloc_->frontier(), a.offset + (6 << 20));
+  EXPECT_TRUE(alloc_->FreeRegions().empty());
+}
+
+TEST_F(DynamicBandTest, NoSpaceWhenExhausted) {
+  DynamicBandOptions small = opt_;
+  small.limit = small.base + (16 << 20);
+  DynamicBandAllocator alloc(small);
+  Extent a;
+  ASSERT_TRUE(alloc.Allocate(16 << 20, &a).ok());
+  Extent b;
+  EXPECT_TRUE(alloc.Allocate(4 << 20, &b).IsNoSpace());
+}
+
+TEST_F(DynamicBandTest, RecoveryViaReserve) {
+  // Simulate a recovered layout: two live extents with a gap between.
+  Extent a{opt_.base, 4 << 20, 0};
+  Extent b{opt_.base + (16 << 20), 4 << 20, 4 << 20};
+  ASSERT_TRUE(alloc_->Reserve(a).ok());
+  ASSERT_TRUE(alloc_->Reserve(b).ok());
+
+  // First allocation finalizes: the 12 MB gap becomes a free region and
+  // the frontier sits after b's guard.
+  Extent c;
+  ASSERT_TRUE(alloc_->Allocate(4 << 20, &c).ok());
+  // 12 MB gap fits 4 data + 4 guard with 4 left over -> insert in gap.
+  EXPECT_EQ(c.offset, a.offset + a.length);
+  EXPECT_EQ(alloc_->frontier(), b.end_with_guard());
+  EXPECT_EQ(alloc_->guard_bytes_attached(), (4u << 20) + c.guard);
+  CheckInvariants();
+}
+
+// Randomized property sweep: a long mix of allocate/free/shrink keeps every
+// internal invariant intact and never double-allocates space.
+class DynamicBandPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicBandPropertyTest, RandomOpsKeepInvariants) {
+  DynamicBandOptions opt;
+  opt.base = 4 << 20;
+  opt.limit = 512ull << 20;
+  opt.track_bytes = 1 << 20;
+  opt.guard_bytes = 4 << 20;
+  opt.class_unit = 4 << 20;
+  DynamicBandAllocator alloc(opt);
+  Random rnd(GetParam());
+
+  std::vector<Extent> live;
+  auto overlaps = [&](const Extent& e) {
+    for (const Extent& o : live) {
+      const uint64_t lo = std::max(e.offset, o.offset);
+      const uint64_t hi = std::min(e.end_with_guard(), o.end_with_guard());
+      if (lo < hi) return true;
+    }
+    return false;
+  };
+
+  for (int i = 0; i < 2000; i++) {
+    const int op = rnd.Uniform(10);
+    if (op < 5 || live.empty()) {
+      Extent e;
+      const uint64_t size = (1 + rnd.Uniform(12)) * (1 << 20);
+      Status s = alloc.Allocate(size, &e);
+      if (s.ok()) {
+        ASSERT_FALSE(overlaps(e)) << "double allocation at op " << i;
+        live.push_back(e);
+      }
+    } else if (op < 8) {
+      const size_t idx = rnd.Uniform(live.size());
+      alloc.Free(live[idx]);
+      live.erase(live.begin() + idx);
+    } else {
+      const size_t idx = rnd.Uniform(live.size());
+      Extent& e = live[idx];
+      if (e.length > (1 << 20)) {
+        alloc.Shrink(&e, e.length - (1 << 20));
+      }
+    }
+    if (i % 100 == 0) {
+      std::string why;
+      ASSERT_TRUE(alloc.CheckInvariants(&why)) << why << " at op " << i;
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(alloc.CheckInvariants(&why)) << why;
+
+  // Byte conservation: allocated + guards + free list + residual == span.
+  uint64_t live_bytes = 0, guard_bytes = 0;
+  for (const Extent& e : live) {
+    live_bytes += e.length;
+    guard_bytes += e.guard;
+  }
+  EXPECT_EQ(alloc.allocated_bytes(), live_bytes);
+  EXPECT_EQ(alloc.guard_bytes_attached(), guard_bytes);
+  EXPECT_EQ(live_bytes + guard_bytes + alloc.free_list_bytes(),
+            alloc.frontier() - opt.base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicBandPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace sealdb

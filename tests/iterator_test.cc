@@ -1,0 +1,242 @@
+// Iterator composition tests: the merging iterator, the two-level
+// iterator (via tables), and DBIter's direction-switching semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/presets.h"
+#include "lsm/db.h"
+#include "lsm/iterator.h"
+#include "lsm/merger.h"
+#include "util/comparator.h"
+#include "util/random.h"
+
+namespace sealdb {
+
+namespace {
+
+// Simple in-memory iterator over a sorted vector of pairs.
+class VectorIterator : public Iterator {
+ public:
+  explicit VectorIterator(std::vector<std::pair<std::string, std::string>> kv)
+      : kv_(std::move(kv)), index_(kv_.size()) {}
+
+  bool Valid() const override { return index_ < kv_.size(); }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override { index_ = kv_.empty() ? 0 : kv_.size() - 1; }
+  void Seek(const Slice& target) override {
+    index_ = 0;
+    while (index_ < kv_.size() && Slice(kv_[index_].first).compare(target) < 0)
+      index_++;
+  }
+  void Next() override { index_++; }
+  void Prev() override { index_ = index_ == 0 ? kv_.size() : index_ - 1; }
+  Slice key() const override { return kv_[index_].first; }
+  Slice value() const override { return kv_[index_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  size_t index_;
+};
+
+}  // namespace
+
+TEST(MergingIterator, UnionOfChildren) {
+  std::vector<std::pair<std::string, std::string>> a = {
+      {"a", "1"}, {"c", "3"}, {"e", "5"}};
+  std::vector<std::pair<std::string, std::string>> b = {
+      {"b", "2"}, {"d", "4"}, {"f", "6"}};
+  Iterator* children[2] = {new VectorIterator(a), new VectorIterator(b)};
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(BytewiseComparator(), children, 2));
+
+  std::string forward;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    forward += merged->key().ToString();
+    forward += merged->value().ToString();
+  }
+  EXPECT_EQ("a1b2c3d4e5f6", forward);
+
+  std::string backward;
+  for (merged->SeekToLast(); merged->Valid(); merged->Prev()) {
+    backward += merged->key().ToString();
+  }
+  EXPECT_EQ("fedcba", backward);
+
+  merged->Seek("c");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("c", merged->key().ToString());
+  // Direction switch mid-stream.
+  merged->Prev();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("b", merged->key().ToString());
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("c", merged->key().ToString());
+}
+
+TEST(MergingIterator, EmptyAndSingle) {
+  std::unique_ptr<Iterator> empty(
+      NewMergingIterator(BytewiseComparator(), nullptr, 0));
+  empty->SeekToFirst();
+  EXPECT_FALSE(empty->Valid());
+
+  std::vector<std::pair<std::string, std::string>> only = {{"x", "1"}};
+  Iterator* one[1] = {new VectorIterator(only)};
+  std::unique_ptr<Iterator> single(
+      NewMergingIterator(BytewiseComparator(), one, 1));
+  single->SeekToFirst();
+  ASSERT_TRUE(single->Valid());
+  EXPECT_EQ("x", single->key().ToString());
+}
+
+// Randomized differential test: a merging iterator over K random shards
+// behaves exactly like one sorted map.
+class MergerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergerPropertyTest, MatchesReferenceOrder) {
+  Random rnd(GetParam());
+  std::map<std::string, std::string> model;
+  const int kShards = 2 + rnd.Uniform(5);
+  std::vector<std::vector<std::pair<std::string, std::string>>> shards(
+      kShards);
+  for (int i = 0; i < 500; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%08u", rnd.Next() % 100000);
+    if (model.count(key)) continue;  // unique keys across shards
+    const std::string value = std::to_string(i);
+    model[key] = value;
+    shards[rnd.Uniform(kShards)].push_back({key, value});
+  }
+  std::vector<Iterator*> children;
+  for (auto& shard : shards) {
+    std::sort(shard.begin(), shard.end());
+    children.push_back(new VectorIterator(shard));
+  }
+  std::unique_ptr<Iterator> merged(NewMergingIterator(
+      BytewiseComparator(), children.data(), children.size()));
+
+  auto mit = model.begin();
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(mit->first, merged->key().ToString());
+    EXPECT_EQ(mit->second, merged->value().ToString());
+  }
+  EXPECT_EQ(mit, model.end());
+
+  // Random seeks.
+  for (int i = 0; i < 50; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%08u", rnd.Next() % 100000);
+    merged->Seek(key);
+    auto ref = model.lower_bound(key);
+    if (ref == model.end()) {
+      EXPECT_FALSE(merged->Valid());
+    } else {
+      ASSERT_TRUE(merged->Valid());
+      EXPECT_EQ(ref->first, merged->key().ToString());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergerPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ------------------------------------------------ DBIter via a real DB
+
+class DbIterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    baselines::StackConfig config;
+    config.kind = baselines::SystemKind::kSEALDB;
+    config.capacity_bytes = 256ull << 20;
+    config.sstable_bytes = 64 << 10;
+    config.write_buffer_bytes = 64 << 10;
+    config.track_bytes = 16 << 10;
+    config.conventional_bytes = 8 << 20;
+    ASSERT_TRUE(baselines::BuildStack(config, "/db", &stack_).ok());
+    db_ = stack_->db();
+  }
+
+  std::unique_ptr<baselines::Stack> stack_;
+  DB* db_ = nullptr;
+};
+
+TEST_F(DbIterTest, DirectionSwitchesEverywhere) {
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i * 3);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    model[key] = value;
+  }
+  db_->WaitForIdle();
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  Random rnd(9);
+  auto mit = model.begin();
+  iter->SeekToFirst();
+  // Random walk forward/backward; the iterator must track the model.
+  for (int step = 0; step < 2000 && iter->Valid(); step++) {
+    ASSERT_EQ(mit->first, iter->key().ToString()) << "step " << step;
+    ASSERT_EQ(mit->second, iter->value().ToString());
+    if (rnd.OneIn(3) && mit != model.begin()) {
+      iter->Prev();
+      --mit;
+    } else {
+      iter->Next();
+      ++mit;
+      if (mit == model.end()) break;
+      if (!iter->Valid()) break;
+    }
+  }
+}
+
+TEST_F(DbIterTest, SeekThenPrev) {
+  for (int i = 0; i < 100; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i * 10);
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, "v").ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->Seek("k0055");  // between k0050 and k0060
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k0060", iter->key().ToString());
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k0050", iter->key().ToString());
+}
+
+TEST_F(DbIterTest, OverwrittenKeysYieldLatestOnly) {
+  for (int round = 0; round < 5; round++) {
+    for (int i = 0; i < 200; i++) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "k%04d", i);
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), key, "round" + std::to_string(round))
+              .ok());
+    }
+  }
+  db_->WaitForIdle();
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ("round4", iter->value().ToString());
+    count++;
+  }
+  EXPECT_EQ(200, count);
+  // And backwards.
+  count = 0;
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev()) {
+    EXPECT_EQ("round4", iter->value().ToString());
+    count++;
+  }
+  EXPECT_EQ(200, count);
+}
+
+}  // namespace sealdb

@@ -1,0 +1,219 @@
+// WAL format tests: record round-trips, fragmentation across blocks,
+// padding (the SMR sync path), and corruption tolerance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_band_allocator.h"
+#include "fs/file_store.h"
+#include "lsm/log_reader.h"
+#include "lsm/log_writer.h"
+#include "smr/drive.h"
+#include "util/random.h"
+
+namespace sealdb::log {
+
+namespace {
+
+std::string BigString(const std::string& partial_string, size_t n) {
+  std::string result;
+  while (result.size() < n) {
+    result.append(partial_string);
+  }
+  result.resize(n);
+  return result;
+}
+
+std::string NumberString(int n) { return std::to_string(n) + "."; }
+
+std::string RandomSkewedString(int i, Random* rnd) {
+  return BigString(NumberString(i), rnd->Skewed(17));
+}
+
+}  // namespace
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    smr::Geometry geo;
+    geo.capacity_bytes = 128ull << 20;
+    geo.conventional_bytes = 4 << 20;
+    drive_ = smr::NewHddDrive(geo, smr::LatencyParams::Hdd());
+    core::DynamicBandOptions opt;
+    opt.base = 4 << 20;
+    opt.limit = 128ull << 20;
+    opt.track_bytes = 1 << 20;
+    opt.guard_bytes = 4 << 20;
+    opt.class_unit = 4 << 20;
+    allocator_ = std::make_unique<core::DynamicBandAllocator>(opt);
+    store_ = std::make_unique<fs::FileStore>(drive_.get(), allocator_.get());
+    EXPECT_TRUE(store_->Format().ok());
+    EXPECT_TRUE(store_->NewWritableFile("/log", 4 << 20, &dest_).ok());
+    writer_ = std::make_unique<Writer>(dest_.get());
+  }
+
+  void Write(const std::string& msg) {
+    ASSERT_TRUE(writer_->AddRecord(Slice(msg)).ok());
+  }
+
+  void Pad() { ASSERT_TRUE(writer_->PadToBlockBoundary().ok()); }
+
+  void FinishWriting() {
+    ASSERT_TRUE(dest_->Close().ok());
+    writer_.reset();
+  }
+
+  struct ReportCollector : public Reader::Reporter {
+    size_t dropped_bytes = 0;
+    std::string message;
+    void Corruption(size_t bytes, const Status& status) override {
+      dropped_bytes += bytes;
+      message.append(status.ToString());
+    }
+  };
+
+  std::vector<std::string> ReadAll(size_t* dropped = nullptr) {
+    std::unique_ptr<fs::SequentialFile> src;
+    EXPECT_TRUE(store_->NewSequentialFile("/log", &src).ok());
+    ReportCollector reporter;
+    Reader reader(src.get(), &reporter, true);
+    std::vector<std::string> records;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    if (dropped != nullptr) *dropped = reporter.dropped_bytes;
+    return records;
+  }
+
+  std::unique_ptr<smr::Drive> drive_;
+  std::unique_ptr<core::DynamicBandAllocator> allocator_;
+  std::unique_ptr<fs::FileStore> store_;
+  std::unique_ptr<fs::WritableFile> dest_;
+  std::unique_ptr<Writer> writer_;
+};
+
+TEST_F(LogTest, Empty) {
+  FinishWriting();
+  EXPECT_TRUE(ReadAll().empty());
+}
+
+TEST_F(LogTest, ReadWrite) {
+  Write("foo");
+  Write("bar");
+  Write("");
+  Write("xxxx");
+  FinishWriting();
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ("foo", records[0]);
+  EXPECT_EQ("bar", records[1]);
+  EXPECT_EQ("", records[2]);
+  EXPECT_EQ("xxxx", records[3]);
+}
+
+TEST_F(LogTest, ManyBlocks) {
+  for (int i = 0; i < 2000; i++) {
+    Write(NumberString(i));
+  }
+  FinishWriting();
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 2000u);
+  for (int i = 0; i < 2000; i++) {
+    EXPECT_EQ(NumberString(i), records[i]);
+  }
+}
+
+TEST_F(LogTest, Fragmentation) {
+  Write("small");
+  Write(BigString("medium", 50000));
+  Write(BigString("large", 100000));
+  FinishWriting();
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ("small", records[0]);
+  EXPECT_EQ(BigString("medium", 50000), records[1]);
+  EXPECT_EQ(BigString("large", 100000), records[2]);
+}
+
+TEST_F(LogTest, MarginalTrailer) {
+  // Record that fits exactly leaving kHeaderSize bytes in the block.
+  const int n = kBlockSize - 2 * kHeaderSize;
+  Write(BigString("foo", n));
+  Write("");
+  Write("bar");
+  FinishWriting();
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(BigString("foo", n), records[0]);
+  EXPECT_EQ("", records[1]);
+  EXPECT_EQ("bar", records[2]);
+}
+
+TEST_F(LogTest, ShortTrailer) {
+  const int n = kBlockSize - 2 * kHeaderSize + 4;
+  Write(BigString("foo", n));
+  Write("");
+  Write("bar");
+  FinishWriting();
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+}
+
+TEST_F(LogTest, PaddingIsSkippedByReader) {
+  Write("before");
+  Pad();  // zero-fill to the block boundary (sync path)
+  Write("after");
+  Pad();
+  Write("end");
+  FinishWriting();
+  size_t dropped = 0;
+  auto records = ReadAll(&dropped);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ("before", records[0]);
+  EXPECT_EQ("after", records[1]);
+  EXPECT_EQ("end", records[2]);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST_F(LogTest, RandomRead) {
+  const int N = 500;
+  {
+    Random write_rnd(301);
+    for (int i = 0; i < N; i++) {
+      Write(RandomSkewedString(i, &write_rnd));
+    }
+  }
+  FinishWriting();
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), static_cast<size_t>(N));
+  Random read_rnd(301);
+  for (int i = 0; i < N; i++) {
+    EXPECT_EQ(RandomSkewedString(i, &read_rnd), records[i]);
+  }
+}
+
+TEST_F(LogTest, TruncatedTailIgnored) {
+  // A record whose payload was only partially flushed at crash time is
+  // treated as EOF, not corruption.
+  Write("complete");
+  // Write a fragment header by hand: append a partial record then truncate
+  // by closing without the tail. We emulate by writing a huge record and
+  // only flushing full blocks (no Close).
+  ASSERT_TRUE(writer_->AddRecord(Slice(BigString("tail", 30000))).ok());
+  ASSERT_TRUE(dest_->Flush().ok());
+  ASSERT_TRUE(dest_->Sync().ok());
+  dest_.release();  // crash: buffered partial block lost
+  writer_.reset();
+
+  size_t dropped = 0;
+  auto records = ReadAll(&dropped);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ("complete", records[0]);
+  EXPECT_EQ(dropped, 0u);
+}
+
+}  // namespace sealdb::log

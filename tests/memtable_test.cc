@@ -1,0 +1,291 @@
+// MemTable, WriteBatch and internal-key format tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/memtable.h"
+#include "lsm/write_batch.h"
+#include "util/comparator.h"
+#include "util/logging.h"
+
+namespace sealdb {
+
+// ------------------------------------------------------------ dbformat
+
+static std::string IKey(const std::string& user_key, uint64_t seq,
+                        ValueType vt) {
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey(user_key, seq, vt));
+  return encoded;
+}
+
+static void TestKey(const std::string& key, uint64_t seq, ValueType vt) {
+  std::string encoded = IKey(key, seq, vt);
+
+  Slice in(encoded);
+  ParsedInternalKey decoded("", 0, kTypeValue);
+
+  ASSERT_TRUE(ParseInternalKey(in, &decoded));
+  EXPECT_EQ(key, decoded.user_key.ToString());
+  EXPECT_EQ(seq, decoded.sequence);
+  EXPECT_EQ(vt, decoded.type);
+
+  EXPECT_FALSE(ParseInternalKey(Slice("bar"), &decoded));
+}
+
+TEST(FormatTest, InternalKey_EncodeDecode) {
+  const char* keys[] = {"", "k", "hello", "longggggggggggggggggggggg"};
+  const uint64_t seq[] = {1,
+                          2,
+                          3,
+                          (1ull << 8) - 1,
+                          1ull << 8,
+                          (1ull << 8) + 1,
+                          (1ull << 16) - 1,
+                          1ull << 16,
+                          (1ull << 16) + 1,
+                          (1ull << 32) - 1,
+                          1ull << 32,
+                          (1ull << 32) + 1};
+  for (unsigned int k = 0; k < sizeof(keys) / sizeof(keys[0]); k++) {
+    for (unsigned int s = 0; s < sizeof(seq) / sizeof(seq[0]); s++) {
+      TestKey(keys[k], seq[s], kTypeValue);
+      TestKey("hello", 1, kTypeDeletion);
+    }
+  }
+}
+
+TEST(FormatTest, InternalKeyComparatorOrdering) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  // Same user key: higher sequence sorts first.
+  EXPECT_LT(icmp.Compare(IKey("a", 10, kTypeValue), IKey("a", 5, kTypeValue)),
+            0);
+  // Different user keys: user order dominates.
+  EXPECT_LT(icmp.Compare(IKey("a", 1, kTypeValue), IKey("b", 100, kTypeValue)),
+            0);
+  // Deletion sorts after value at the same sequence (type descending).
+  EXPECT_LT(
+      icmp.Compare(IKey("a", 5, kTypeValue), IKey("a", 5, kTypeDeletion)), 0);
+}
+
+TEST(FormatTest, InternalKeyShortSeparator) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  // When user keys are consecutive
+  std::string start = IKey("foo", 100, kTypeValue);
+  std::string limit = IKey("hello", 200, kTypeValue);
+  icmp.FindShortestSeparator(&start, limit);
+  EXPECT_LT(icmp.Compare(IKey("foo", 100, kTypeValue), start), 0);
+  EXPECT_LT(icmp.Compare(start, limit), 0);
+
+  // When user keys are the same: unchanged
+  start = IKey("foo", 100, kTypeValue);
+  std::string start_copy = start;
+  icmp.FindShortestSeparator(&start, IKey("foo", 99, kTypeValue));
+  EXPECT_EQ(start_copy, start);
+}
+
+TEST(FormatTest, LookupKey) {
+  LookupKey lkey("mykey", 42);
+  EXPECT_EQ("mykey", lkey.user_key().ToString());
+  Slice ik = lkey.internal_key();
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ik, &parsed));
+  EXPECT_EQ("mykey", parsed.user_key.ToString());
+  EXPECT_EQ(42u, parsed.sequence);
+}
+
+// ------------------------------------------------------------ memtable
+
+TEST(MemTableTest, AddAndGet) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  mem->Add(100, kTypeValue, "k1", "v1");
+  mem->Add(101, kTypeValue, "k2", "v2");
+  mem->Add(102, kTypeValue, "k1", "v1.2");  // newer version
+
+  std::string value;
+  Status s;
+  // Read at latest snapshot sees the newest version.
+  ASSERT_TRUE(mem->Get(LookupKey("k1", 200), &value, &s));
+  EXPECT_EQ("v1.2", value);
+  // Read at an old snapshot sees the old version.
+  ASSERT_TRUE(mem->Get(LookupKey("k1", 100), &value, &s));
+  EXPECT_EQ("v1", value);
+  ASSERT_TRUE(mem->Get(LookupKey("k2", 200), &value, &s));
+  EXPECT_EQ("v2", value);
+  // Unknown key.
+  EXPECT_FALSE(mem->Get(LookupKey("k3", 200), &value, &s));
+  mem->Unref();
+}
+
+TEST(MemTableTest, DeletionVisible) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  mem->Add(100, kTypeValue, "k", "v");
+  mem->Add(101, kTypeDeletion, "k", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem->Get(LookupKey("k", 200), &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  // But the old snapshot still sees the value.
+  s = Status::OK();
+  ASSERT_TRUE(mem->Get(LookupKey("k", 100), &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("v", value);
+  mem->Unref();
+}
+
+TEST(MemTableTest, Iterate) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  mem->Add(1, kTypeValue, "b", "2");
+  mem->Add(2, kTypeValue, "a", "1");
+  mem->Add(3, kTypeValue, "c", "3");
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+  iter->SeekToFirst();
+  std::string keys;
+  for (; iter->Valid(); iter->Next()) {
+    keys += ExtractUserKey(iter->key()).ToString();
+  }
+  EXPECT_EQ("abc", keys);
+  mem->Unref();
+}
+
+TEST(MemTableTest, MemoryUsageGrows) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  const size_t before = mem->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem->Add(i, kTypeValue, "key" + std::to_string(i), std::string(100, 'v'));
+  }
+  EXPECT_GT(mem->ApproximateMemoryUsage(), before + 100 * 1000);
+  mem->Unref();
+}
+
+// ----------------------------------------------------------- writebatch
+
+static std::string PrintContents(WriteBatch* b) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable* mem = new MemTable(cmp);
+  mem->Ref();
+  std::string state;
+  Status s = WriteBatchInternal::InsertInto(b, mem);
+  int count = 0;
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey ikey;
+    EXPECT_TRUE(ParseInternalKey(iter->key(), &ikey));
+    switch (ikey.type) {
+      case kTypeValue:
+        state.append("Put(");
+        state.append(ikey.user_key.ToString());
+        state.append(", ");
+        state.append(iter->value().ToString());
+        state.append(")");
+        count++;
+        break;
+      case kTypeDeletion:
+        state.append("Delete(");
+        state.append(ikey.user_key.ToString());
+        state.append(")");
+        count++;
+        break;
+    }
+    state.append("@");
+    state.append(NumberToString(ikey.sequence));
+  }
+  iter.reset();
+  if (!s.ok()) {
+    state.append("ParseError()");
+  } else if (count != WriteBatchInternal::Count(b)) {
+    state.append("CountMismatch()");
+  }
+  mem->Unref();
+  return state;
+}
+
+TEST(WriteBatchTest, Empty) {
+  WriteBatch batch;
+  EXPECT_EQ("", PrintContents(&batch));
+  EXPECT_EQ(0, WriteBatchInternal::Count(&batch));
+}
+
+TEST(WriteBatchTest, Multiple) {
+  WriteBatch batch;
+  batch.Put(Slice("foo"), Slice("bar"));
+  batch.Delete(Slice("box"));
+  batch.Put(Slice("baz"), Slice("boo"));
+  WriteBatchInternal::SetSequence(&batch, 100);
+  EXPECT_EQ(100u, WriteBatchInternal::Sequence(&batch));
+  EXPECT_EQ(3, WriteBatchInternal::Count(&batch));
+  EXPECT_EQ(
+      "Put(baz, boo)@102"
+      "Delete(box)@101"
+      "Put(foo, bar)@100",
+      PrintContents(&batch));
+}
+
+TEST(WriteBatchTest, Corruption) {
+  WriteBatch batch;
+  batch.Put(Slice("foo"), Slice("bar"));
+  batch.Delete(Slice("box"));
+  WriteBatchInternal::SetSequence(&batch, 200);
+  Slice contents = WriteBatchInternal::Contents(&batch);
+  WriteBatch batch2;
+  WriteBatchInternal::SetContents(&batch2,
+                                  Slice(contents.data(), contents.size() - 1));
+  EXPECT_EQ(
+      "Put(foo, bar)@200"
+      "ParseError()",
+      PrintContents(&batch2));
+}
+
+TEST(WriteBatchTest, Append) {
+  WriteBatch b1, b2;
+  WriteBatchInternal::SetSequence(&b1, 200);
+  WriteBatchInternal::SetSequence(&b2, 300);
+  b1.Append(b2);
+  EXPECT_EQ("", PrintContents(&b1));
+  b2.Put("a", "va");
+  b1.Append(b2);
+  EXPECT_EQ("Put(a, va)@200", PrintContents(&b1));
+  b2.Clear();
+  b2.Put("b", "vb");
+  b1.Append(b2);
+  EXPECT_EQ(
+      "Put(a, va)@200"
+      "Put(b, vb)@201",
+      PrintContents(&b1));
+  b2.Delete("foo");
+  b1.Append(b2);
+  EXPECT_EQ(
+      "Put(a, va)@200"
+      "Put(b, vb)@202"
+      "Put(b, vb)@201"
+      "Delete(foo)@203",
+      PrintContents(&b1));
+}
+
+TEST(WriteBatchTest, ApproximateSize) {
+  WriteBatch batch;
+  size_t empty_size = batch.ApproximateSize();
+
+  batch.Put(Slice("foo"), Slice("bar"));
+  size_t one_key_size = batch.ApproximateSize();
+  EXPECT_LT(empty_size, one_key_size);
+
+  batch.Put(Slice("baz"), Slice("boo"));
+  size_t two_keys_size = batch.ApproximateSize();
+  EXPECT_LT(one_key_size, two_keys_size);
+
+  batch.Delete(Slice("box"));
+  size_t post_delete_size = batch.ApproximateSize();
+  EXPECT_LT(two_keys_size, post_delete_size);
+}
+
+}  // namespace sealdb

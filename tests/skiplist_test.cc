@@ -1,0 +1,149 @@
+#include "util/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace sealdb {
+
+typedef uint64_t Key;
+
+struct TestComparator {
+  int operator()(const Key& a, const Key& b) const {
+    if (a < b) {
+      return -1;
+    } else if (a > b) {
+      return +1;
+    } else {
+      return 0;
+    }
+  }
+};
+
+TEST(SkipTest, Empty) {
+  Arena arena;
+  TestComparator cmp;
+  SkipList<Key, TestComparator> list(cmp, &arena);
+  EXPECT_TRUE(!list.Contains(10));
+
+  SkipList<Key, TestComparator>::Iterator iter(&list);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_TRUE(!iter.Valid());
+  iter.Seek(100);
+  EXPECT_TRUE(!iter.Valid());
+  iter.SeekToLast();
+  EXPECT_TRUE(!iter.Valid());
+}
+
+TEST(SkipTest, InsertAndLookup) {
+  const int N = 2000;
+  const int R = 5000;
+  Random rnd(1000);
+  std::set<Key> keys;
+  Arena arena;
+  TestComparator cmp;
+  SkipList<Key, TestComparator> list(cmp, &arena);
+  for (int i = 0; i < N; i++) {
+    Key key = rnd.Next() % R;
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+
+  for (int i = 0; i < R; i++) {
+    if (list.Contains(i)) {
+      EXPECT_EQ(keys.count(i), 1u);
+    } else {
+      EXPECT_EQ(keys.count(i), 0u);
+    }
+  }
+
+  // Simple iterator tests
+  {
+    SkipList<Key, TestComparator>::Iterator iter(&list);
+    EXPECT_TRUE(!iter.Valid());
+
+    iter.Seek(0);
+    EXPECT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToFirst();
+    EXPECT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.begin()), iter.key());
+
+    iter.SeekToLast();
+    EXPECT_TRUE(iter.Valid());
+    EXPECT_EQ(*(keys.rbegin()), iter.key());
+  }
+
+  // Forward iteration test
+  for (int i = 0; i < R; i++) {
+    SkipList<Key, TestComparator>::Iterator iter(&list);
+    iter.Seek(i);
+
+    // Compare against model iterator
+    std::set<Key>::iterator model_iter = keys.lower_bound(i);
+    for (int j = 0; j < 3; j++) {
+      if (model_iter == keys.end()) {
+        EXPECT_TRUE(!iter.Valid());
+        break;
+      } else {
+        EXPECT_TRUE(iter.Valid());
+        EXPECT_EQ(*model_iter, iter.key());
+        ++model_iter;
+        iter.Next();
+      }
+    }
+  }
+
+  // Backward iteration test
+  {
+    SkipList<Key, TestComparator>::Iterator iter(&list);
+    iter.SeekToLast();
+
+    // Compare against model iterator
+    for (std::set<Key>::reverse_iterator model_iter = keys.rbegin();
+         model_iter != keys.rend(); ++model_iter) {
+      EXPECT_TRUE(iter.Valid());
+      EXPECT_EQ(*model_iter, iter.key());
+      iter.Prev();
+    }
+    EXPECT_TRUE(!iter.Valid());
+  }
+}
+
+// Parameterized property sweep: inserting any permutation of a range must
+// yield the same sorted iteration.
+class SkipListPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListPropertyTest, SortedAfterRandomInserts) {
+  const int seed = GetParam();
+  Random rnd(seed);
+  Arena arena;
+  TestComparator cmp;
+  SkipList<Key, TestComparator> list(cmp, &arena);
+  std::set<Key> model;
+  for (int i = 0; i < 500; i++) {
+    Key k = rnd.Next64() % 100000;
+    if (model.insert(k).second) {
+      list.Insert(k);
+    }
+  }
+  SkipList<Key, TestComparator>::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (Key expected : model) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(expected, iter.key());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListPropertyTest,
+                         ::testing::Values(1, 7, 42, 301, 999, 12345));
+
+}  // namespace sealdb

@@ -1,0 +1,225 @@
+// Version machinery tests: FindFile / SomeFileOverlapsRange and the
+// VersionEdit manifest record round-trip (including the SEALDB set id).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lsm/version_edit.h"
+#include "lsm/version_set.h"
+#include "util/comparator.h"
+
+namespace sealdb {
+
+class FindFileTest : public ::testing::Test {
+ public:
+  FindFileTest() : disjoint_sorted_files_(true) {}
+
+  ~FindFileTest() override {
+    for (size_t i = 0; i < files_.size(); i++) {
+      delete files_[i];
+    }
+  }
+
+  void Add(const char* smallest, const char* largest,
+           SequenceNumber smallest_seq = 100,
+           SequenceNumber largest_seq = 100) {
+    FileMetaData* f = new FileMetaData;
+    f->number = files_.size() + 1;
+    f->smallest = InternalKey(smallest, smallest_seq, kTypeValue);
+    f->largest = InternalKey(largest, largest_seq, kTypeValue);
+    files_.push_back(f);
+  }
+
+  int Find(const char* key) {
+    InternalKey target(key, 100, kTypeValue);
+    InternalKeyComparator cmp(BytewiseComparator());
+    return FindFile(cmp, files_, target.Encode());
+  }
+
+  bool Overlaps(const char* smallest, const char* largest) {
+    InternalKeyComparator cmp(BytewiseComparator());
+    Slice s(smallest != nullptr ? smallest : "");
+    Slice l(largest != nullptr ? largest : "");
+    return SomeFileOverlapsRange(cmp, disjoint_sorted_files_, files_,
+                                 (smallest != nullptr ? &s : nullptr),
+                                 (largest != nullptr ? &l : nullptr));
+  }
+
+  bool disjoint_sorted_files_;
+  std::vector<FileMetaData*> files_;
+};
+
+TEST_F(FindFileTest, Empty) {
+  EXPECT_EQ(0, Find("foo"));
+  EXPECT_TRUE(!Overlaps("a", "z"));
+  EXPECT_TRUE(!Overlaps(nullptr, "z"));
+  EXPECT_TRUE(!Overlaps("a", nullptr));
+  EXPECT_TRUE(!Overlaps(nullptr, nullptr));
+}
+
+TEST_F(FindFileTest, Single) {
+  Add("p", "q");
+  EXPECT_EQ(0, Find("a"));
+  EXPECT_EQ(0, Find("p"));
+  EXPECT_EQ(0, Find("p1"));
+  EXPECT_EQ(0, Find("q"));
+  EXPECT_EQ(1, Find("q1"));
+  EXPECT_EQ(1, Find("z"));
+
+  EXPECT_TRUE(!Overlaps("a", "b"));
+  EXPECT_TRUE(!Overlaps("z1", "z2"));
+  EXPECT_TRUE(Overlaps("a", "p"));
+  EXPECT_TRUE(Overlaps("a", "q"));
+  EXPECT_TRUE(Overlaps("a", "z"));
+  EXPECT_TRUE(Overlaps("p", "p1"));
+  EXPECT_TRUE(Overlaps("p", "q"));
+  EXPECT_TRUE(Overlaps("p", "z"));
+  EXPECT_TRUE(Overlaps("p1", "p2"));
+  EXPECT_TRUE(Overlaps("p1", "z"));
+  EXPECT_TRUE(Overlaps("q", "q"));
+  EXPECT_TRUE(Overlaps("q", "q1"));
+
+  EXPECT_TRUE(!Overlaps(nullptr, "j"));
+  EXPECT_TRUE(!Overlaps("r", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, "p"));
+  EXPECT_TRUE(Overlaps(nullptr, "p1"));
+  EXPECT_TRUE(Overlaps("q", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, nullptr));
+}
+
+TEST_F(FindFileTest, Multiple) {
+  Add("150", "200");
+  Add("200", "250");
+  Add("300", "350");
+  Add("400", "450");
+  EXPECT_EQ(0, Find("100"));
+  EXPECT_EQ(0, Find("150"));
+  EXPECT_EQ(0, Find("151"));
+  EXPECT_EQ(0, Find("199"));
+  EXPECT_EQ(0, Find("200"));
+  EXPECT_EQ(1, Find("201"));
+  EXPECT_EQ(1, Find("249"));
+  EXPECT_EQ(1, Find("250"));
+  EXPECT_EQ(2, Find("251"));
+  EXPECT_EQ(2, Find("299"));
+  EXPECT_EQ(2, Find("300"));
+  EXPECT_EQ(2, Find("349"));
+  EXPECT_EQ(2, Find("350"));
+  EXPECT_EQ(3, Find("351"));
+  EXPECT_EQ(3, Find("400"));
+  EXPECT_EQ(3, Find("450"));
+  EXPECT_EQ(4, Find("451"));
+
+  EXPECT_TRUE(!Overlaps("100", "149"));
+  EXPECT_TRUE(!Overlaps("251", "299"));
+  EXPECT_TRUE(!Overlaps("451", "500"));
+  EXPECT_TRUE(!Overlaps("351", "399"));
+
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_TRUE(Overlaps("100", "200"));
+  EXPECT_TRUE(Overlaps("100", "300"));
+  EXPECT_TRUE(Overlaps("100", "400"));
+  EXPECT_TRUE(Overlaps("100", "500"));
+  EXPECT_TRUE(Overlaps("375", "400"));
+  EXPECT_TRUE(Overlaps("450", "450"));
+  EXPECT_TRUE(Overlaps("450", "500"));
+}
+
+TEST_F(FindFileTest, MultipleNullBoundaries) {
+  Add("150", "200");
+  Add("200", "250");
+  Add("300", "350");
+  Add("400", "450");
+  EXPECT_TRUE(!Overlaps(nullptr, "149"));
+  EXPECT_TRUE(!Overlaps("451", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, "150"));
+  EXPECT_TRUE(Overlaps(nullptr, "199"));
+  EXPECT_TRUE(Overlaps(nullptr, "200"));
+  EXPECT_TRUE(Overlaps(nullptr, "201"));
+  EXPECT_TRUE(Overlaps(nullptr, "400"));
+  EXPECT_TRUE(Overlaps(nullptr, "800"));
+  EXPECT_TRUE(Overlaps("100", nullptr));
+  EXPECT_TRUE(Overlaps("200", nullptr));
+  EXPECT_TRUE(Overlaps("449", nullptr));
+  EXPECT_TRUE(Overlaps("450", nullptr));
+}
+
+TEST_F(FindFileTest, OverlapSequenceChecks) {
+  Add("200", "200", 5000, 3000);
+  EXPECT_TRUE(!Overlaps("199", "199"));
+  EXPECT_TRUE(!Overlaps("201", "300"));
+  EXPECT_TRUE(Overlaps("200", "200"));
+  EXPECT_TRUE(Overlaps("190", "200"));
+  EXPECT_TRUE(Overlaps("200", "210"));
+}
+
+TEST_F(FindFileTest, OverlappingFiles) {
+  Add("150", "600");
+  Add("400", "500");
+  disjoint_sorted_files_ = false;
+  EXPECT_TRUE(!Overlaps("100", "149"));
+  EXPECT_TRUE(!Overlaps("601", "700"));
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_TRUE(Overlaps("100", "200"));
+  EXPECT_TRUE(Overlaps("100", "300"));
+  EXPECT_TRUE(Overlaps("100", "400"));
+  EXPECT_TRUE(Overlaps("100", "500"));
+  EXPECT_TRUE(Overlaps("375", "400"));
+  EXPECT_TRUE(Overlaps("450", "450"));
+  EXPECT_TRUE(Overlaps("450", "500"));
+  EXPECT_TRUE(Overlaps("450", "700"));
+  EXPECT_TRUE(Overlaps("600", "700"));
+}
+
+// -------------------------------------------------------- VersionEdit
+
+static void TestEncodeDecode(const VersionEdit& edit) {
+  std::string encoded, encoded2;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  parsed.EncodeTo(&encoded2);
+  EXPECT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EncodeDecode) {
+  static const uint64_t kBig = 1ull << 50;
+
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    TestEncodeDecode(edit);
+    edit.AddFile(3, kBig + 300 + i, kBig + 400 + i,
+                 InternalKey("foo", kBig + 500 + i, kTypeValue),
+                 InternalKey("zoo", kBig + 600 + i, kTypeDeletion),
+                 /*set_id=*/i);
+    edit.RemoveFile(4, kBig + 700 + i);
+    edit.SetCompactPointer(i, InternalKey("x", kBig + 900 + i, kTypeValue));
+  }
+
+  edit.SetComparatorName("foo");
+  edit.SetLogNumber(kBig + 100);
+  edit.SetNextFile(kBig + 200);
+  edit.SetLastSequence(kBig + 1000);
+  TestEncodeDecode(edit);
+}
+
+TEST(VersionEditTest, SetIdSurvivesRoundtrip) {
+  VersionEdit edit;
+  edit.AddFile(2, 7, 4096, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue), /*set_id=*/42);
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+  std::string debug = parsed.DebugString();
+  EXPECT_NE(debug.find("set=42"), std::string::npos) << debug;
+}
+
+TEST(VersionEditTest, CorruptInputRejected) {
+  VersionEdit parsed;
+  EXPECT_FALSE(parsed.DecodeFrom(Slice("\xff\xff garbage")).ok());
+}
+
+}  // namespace sealdb

@@ -1,0 +1,176 @@
+// YCSB substrate tests: generator distributions, workload operation mixes,
+// and an end-to-end runner smoke test.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/presets.h"
+#include "ycsb/generator.h"
+#include "ycsb/runner.h"
+#include "ycsb/workload.h"
+
+namespace sealdb::ycsb {
+
+TEST(Generators, UniformBoundsAndCoverage) {
+  UniformGenerator gen(10, 19);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; i++) {
+    uint64_t v = gen.Next();
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 19u);
+    seen.insert(v);
+    EXPECT_EQ(gen.Last(), v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Generators, CounterMonotonic) {
+  CounterGenerator gen(100);
+  EXPECT_EQ(gen.Next(), 100u);
+  EXPECT_EQ(gen.Next(), 101u);
+  EXPECT_EQ(gen.Last(), 101u);
+}
+
+TEST(Generators, ZipfianSkew) {
+  ZipfianGenerator gen(10000);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 10000u);
+    counts[v]++;
+  }
+  // Item 0 is by far the most popular (~10% with theta=0.99, n=1e4).
+  EXPECT_GT(counts[0], kDraws / 30);
+  // The head dominates: top-10 items take a large share.
+  int head = 0;
+  for (uint64_t i = 0; i < 10; i++) head += counts[i];
+  EXPECT_GT(head, kDraws / 5);
+}
+
+TEST(Generators, ScrambledZipfianSpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(10000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 10000u);
+    counts[v]++;
+  }
+  // Still skewed: some item is drawn far more than average...
+  int max_count = 0;
+  uint64_t hottest = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      hottest = k;
+    }
+  }
+  EXPECT_GT(max_count, 50000 / 10000 * 20);
+  // ...but the hottest item is scattered away from index 0.
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(Generators, LatestFavorsRecentInserts) {
+  CounterGenerator counter(0);
+  for (int i = 0; i < 10000; i++) counter.Next();  // 10k records
+  SkewedLatestGenerator gen(&counter);
+  uint64_t recent = 0, total = 0;
+  for (int i = 0; i < 20000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 10000u);
+    if (v >= 9000) recent++;
+    total++;
+  }
+  // The newest 10% of keys draw far more than 10% of requests.
+  EXPECT_GT(static_cast<double>(recent) / total, 0.3);
+}
+
+TEST(Workload, PresetMixes) {
+  EXPECT_DOUBLE_EQ(WorkloadSpec::A().read_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(WorkloadSpec::A().update_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(WorkloadSpec::B().read_proportion, 0.95);
+  EXPECT_DOUBLE_EQ(WorkloadSpec::C().read_proportion, 1.0);
+  EXPECT_EQ(WorkloadSpec::D().request_distribution, Distribution::kLatest);
+  EXPECT_DOUBLE_EQ(WorkloadSpec::E().scan_proportion, 0.95);
+  EXPECT_DOUBLE_EQ(WorkloadSpec::F().rmw_proportion, 0.5);
+  EXPECT_EQ(WorkloadSpec::ByName("a").name, "A");
+  EXPECT_THROW(WorkloadSpec::ByName("zz"), std::invalid_argument);
+}
+
+TEST(Workload, OperationMixMatchesProportions) {
+  CoreWorkload workload(WorkloadSpec::A(), 1000, 16, 64);
+  int reads = 0, updates = 0;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    switch (workload.NextOperation()) {
+      case Operation::kRead:
+        reads++;
+        break;
+      case Operation::kUpdate:
+        updates++;
+        break;
+      default:
+        FAIL() << "unexpected op in workload A";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kOps, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(updates) / kOps, 0.5, 0.02);
+}
+
+TEST(Workload, KeyShape) {
+  CoreWorkload workload(WorkloadSpec::C(), 1000, 16, 64);
+  const std::string key = workload.BuildKey(42);
+  EXPECT_EQ(key.size(), 16u);
+  EXPECT_EQ(key.substr(0, 4), "user");
+  // Deterministic.
+  EXPECT_EQ(key, workload.BuildKey(42));
+  EXPECT_NE(key, workload.BuildKey(43));
+}
+
+TEST(Workload, ValuesHaveConfiguredSize) {
+  CoreWorkload workload(WorkloadSpec::C(), 1000, 16, 100);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(workload.NextValue().size(), 100u);
+  }
+}
+
+TEST(Workload, RequestKeysStayWithinInsertedRange) {
+  CoreWorkload workload(WorkloadSpec::D(), 100, 16, 64);
+  for (int i = 0; i < 50; i++) workload.NextInsertKey();
+  for (int i = 0; i < 1000; i++) {
+    const std::string key = workload.NextRequestKey();
+    EXPECT_EQ(key.size(), 16u);
+  }
+}
+
+TEST(Runner, EndToEndSmoke) {
+  baselines::StackConfig config;
+  config.kind = baselines::SystemKind::kSEALDB;
+  config.capacity_bytes = 256ull << 20;
+  config.sstable_bytes = 64 << 10;
+  config.write_buffer_bytes = 64 << 10;
+  config.track_bytes = 16 << 10;
+  std::unique_ptr<baselines::Stack> stack;
+  ASSERT_TRUE(baselines::BuildStack(config, "/ycsb", &stack).ok());
+
+  Runner runner(stack.get(), 16, 256);
+  RunResult load;
+  ASSERT_TRUE(runner.Load(2000, &load).ok());
+  EXPECT_EQ(load.operations, 2000u);
+  EXPECT_GT(load.device_seconds, 0.0);
+  EXPECT_GT(load.ops_per_second(), 0.0);
+
+  for (const char* name : {"A", "B", "C", "D", "E", "F"}) {
+    RunResult result;
+    ASSERT_TRUE(runner.Run(WorkloadSpec::ByName(name), 2000, 500, &result)
+                    .ok())
+        << "workload " << name;
+    EXPECT_EQ(result.operations, 500u);
+    // Loaded keys exist: reads overwhelmingly hit.
+    EXPECT_LT(result.not_found, result.operations / 4);
+  }
+}
+
+}  // namespace sealdb::ycsb
