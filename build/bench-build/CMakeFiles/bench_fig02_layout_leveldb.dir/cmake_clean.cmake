@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_layout_leveldb"
+  "../bench/bench_fig02_layout_leveldb.pdb"
+  "CMakeFiles/bench_fig02_layout_leveldb.dir/bench_fig02_layout_leveldb.cc.o"
+  "CMakeFiles/bench_fig02_layout_leveldb.dir/bench_fig02_layout_leveldb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_layout_leveldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

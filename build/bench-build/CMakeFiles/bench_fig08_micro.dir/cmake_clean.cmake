@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_micro"
+  "../bench/bench_fig08_micro.pdb"
+  "CMakeFiles/bench_fig08_micro.dir/bench_fig08_micro.cc.o"
+  "CMakeFiles/bench_fig08_micro.dir/bench_fig08_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

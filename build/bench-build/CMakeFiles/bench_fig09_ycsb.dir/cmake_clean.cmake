@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_ycsb"
+  "../bench/bench_fig09_ycsb.pdb"
+  "CMakeFiles/bench_fig09_ycsb.dir/bench_fig09_ycsb.cc.o"
+  "CMakeFiles/bench_fig09_ycsb.dir/bench_fig09_ycsb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

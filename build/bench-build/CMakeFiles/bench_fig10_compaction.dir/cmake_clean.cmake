@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_compaction"
+  "../bench/bench_fig10_compaction.pdb"
+  "CMakeFiles/bench_fig10_compaction.dir/bench_fig10_compaction.cc.o"
+  "CMakeFiles/bench_fig10_compaction.dir/bench_fig10_compaction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_layout_sealdb"
+  "../bench/bench_fig11_layout_sealdb.pdb"
+  "CMakeFiles/bench_fig11_layout_sealdb.dir/bench_fig11_layout_sealdb.cc.o"
+  "CMakeFiles/bench_fig11_layout_sealdb.dir/bench_fig11_layout_sealdb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_layout_sealdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_layout_sealdb.
+# This may be replaced when dependencies are built.

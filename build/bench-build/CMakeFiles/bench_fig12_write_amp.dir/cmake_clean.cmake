@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_write_amp"
+  "../bench/bench_fig12_write_amp.pdb"
+  "CMakeFiles/bench_fig12_write_amp.dir/bench_fig12_write_amp.cc.o"
+  "CMakeFiles/bench_fig12_write_amp.dir/bench_fig12_write_amp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_write_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_fragments"
+  "../bench/bench_fig13_fragments.pdb"
+  "CMakeFiles/bench_fig13_fragments.dir/bench_fig13_fragments.cc.o"
+  "CMakeFiles/bench_fig13_fragments.dir/bench_fig13_fragments.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

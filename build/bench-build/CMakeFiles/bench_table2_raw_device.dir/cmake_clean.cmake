@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_raw_device"
+  "../bench/bench_table2_raw_device.pdb"
+  "CMakeFiles/bench_table2_raw_device.dir/bench_table2_raw_device.cc.o"
+  "CMakeFiles/bench_table2_raw_device.dir/bench_table2_raw_device.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_raw_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_inspector.dir/smr_inspector.cpp.o"
+  "CMakeFiles/smr_inspector.dir/smr_inspector.cpp.o.d"
+  "smr_inspector"
+  "smr_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smr_inspector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_index.dir/web_index.cpp.o"
+  "CMakeFiles/web_index.dir/web_index.cpp.o.d"
+  "web_index"
+  "web_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

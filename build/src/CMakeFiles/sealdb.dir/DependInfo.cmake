@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/presets.cc" "src/CMakeFiles/sealdb.dir/baselines/presets.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/baselines/presets.cc.o.d"
+  "/root/repo/src/core/band_inspector.cc" "src/CMakeFiles/sealdb.dir/core/band_inspector.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/core/band_inspector.cc.o.d"
+  "/root/repo/src/core/dynamic_band_allocator.cc" "src/CMakeFiles/sealdb.dir/core/dynamic_band_allocator.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/core/dynamic_band_allocator.cc.o.d"
+  "/root/repo/src/core/fragment_gc.cc" "src/CMakeFiles/sealdb.dir/core/fragment_gc.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/core/fragment_gc.cc.o.d"
+  "/root/repo/src/core/sealdb.cc" "src/CMakeFiles/sealdb.dir/core/sealdb.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/core/sealdb.cc.o.d"
+  "/root/repo/src/core/set_manager.cc" "src/CMakeFiles/sealdb.dir/core/set_manager.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/core/set_manager.cc.o.d"
+  "/root/repo/src/fs/ext4_allocator.cc" "src/CMakeFiles/sealdb.dir/fs/ext4_allocator.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/fs/ext4_allocator.cc.o.d"
+  "/root/repo/src/fs/file_store.cc" "src/CMakeFiles/sealdb.dir/fs/file_store.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/fs/file_store.cc.o.d"
+  "/root/repo/src/fs/free_map.cc" "src/CMakeFiles/sealdb.dir/fs/free_map.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/fs/free_map.cc.o.d"
+  "/root/repo/src/lsm/block.cc" "src/CMakeFiles/sealdb.dir/lsm/block.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/block.cc.o.d"
+  "/root/repo/src/lsm/block_builder.cc" "src/CMakeFiles/sealdb.dir/lsm/block_builder.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/block_builder.cc.o.d"
+  "/root/repo/src/lsm/db_impl.cc" "src/CMakeFiles/sealdb.dir/lsm/db_impl.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/db_impl.cc.o.d"
+  "/root/repo/src/lsm/db_iter.cc" "src/CMakeFiles/sealdb.dir/lsm/db_iter.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/db_iter.cc.o.d"
+  "/root/repo/src/lsm/dbformat.cc" "src/CMakeFiles/sealdb.dir/lsm/dbformat.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/dbformat.cc.o.d"
+  "/root/repo/src/lsm/filename.cc" "src/CMakeFiles/sealdb.dir/lsm/filename.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/filename.cc.o.d"
+  "/root/repo/src/lsm/filter_block.cc" "src/CMakeFiles/sealdb.dir/lsm/filter_block.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/filter_block.cc.o.d"
+  "/root/repo/src/lsm/format.cc" "src/CMakeFiles/sealdb.dir/lsm/format.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/format.cc.o.d"
+  "/root/repo/src/lsm/iterator.cc" "src/CMakeFiles/sealdb.dir/lsm/iterator.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/iterator.cc.o.d"
+  "/root/repo/src/lsm/log_reader.cc" "src/CMakeFiles/sealdb.dir/lsm/log_reader.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/log_reader.cc.o.d"
+  "/root/repo/src/lsm/log_writer.cc" "src/CMakeFiles/sealdb.dir/lsm/log_writer.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/log_writer.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/sealdb.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/merger.cc" "src/CMakeFiles/sealdb.dir/lsm/merger.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/merger.cc.o.d"
+  "/root/repo/src/lsm/table.cc" "src/CMakeFiles/sealdb.dir/lsm/table.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/table.cc.o.d"
+  "/root/repo/src/lsm/table_builder.cc" "src/CMakeFiles/sealdb.dir/lsm/table_builder.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/table_builder.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/CMakeFiles/sealdb.dir/lsm/table_cache.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/table_cache.cc.o.d"
+  "/root/repo/src/lsm/two_level_iterator.cc" "src/CMakeFiles/sealdb.dir/lsm/two_level_iterator.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/two_level_iterator.cc.o.d"
+  "/root/repo/src/lsm/version_edit.cc" "src/CMakeFiles/sealdb.dir/lsm/version_edit.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/version_edit.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/CMakeFiles/sealdb.dir/lsm/version_set.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/version_set.cc.o.d"
+  "/root/repo/src/lsm/write_batch.cc" "src/CMakeFiles/sealdb.dir/lsm/write_batch.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/lsm/write_batch.cc.o.d"
+  "/root/repo/src/smr/device_stats.cc" "src/CMakeFiles/sealdb.dir/smr/device_stats.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/smr/device_stats.cc.o.d"
+  "/root/repo/src/smr/fixed_band_drive.cc" "src/CMakeFiles/sealdb.dir/smr/fixed_band_drive.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/smr/fixed_band_drive.cc.o.d"
+  "/root/repo/src/smr/hdd_drive.cc" "src/CMakeFiles/sealdb.dir/smr/hdd_drive.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/smr/hdd_drive.cc.o.d"
+  "/root/repo/src/smr/latency_model.cc" "src/CMakeFiles/sealdb.dir/smr/latency_model.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/smr/latency_model.cc.o.d"
+  "/root/repo/src/smr/media_store.cc" "src/CMakeFiles/sealdb.dir/smr/media_store.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/smr/media_store.cc.o.d"
+  "/root/repo/src/smr/shingled_disk.cc" "src/CMakeFiles/sealdb.dir/smr/shingled_disk.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/smr/shingled_disk.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/sealdb.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/bloom.cc" "src/CMakeFiles/sealdb.dir/util/bloom.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/bloom.cc.o.d"
+  "/root/repo/src/util/cache.cc" "src/CMakeFiles/sealdb.dir/util/cache.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/cache.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/sealdb.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/sealdb.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/sealdb.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/sealdb.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/sealdb.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/sealdb.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/options.cc" "src/CMakeFiles/sealdb.dir/util/options.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/options.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sealdb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/util/status.cc.o.d"
+  "/root/repo/src/ycsb/generator.cc" "src/CMakeFiles/sealdb.dir/ycsb/generator.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/ycsb/generator.cc.o.d"
+  "/root/repo/src/ycsb/runner.cc" "src/CMakeFiles/sealdb.dir/ycsb/runner.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/ycsb/runner.cc.o.d"
+  "/root/repo/src/ycsb/workload.cc" "src/CMakeFiles/sealdb.dir/ycsb/workload.cc.o" "gcc" "src/CMakeFiles/sealdb.dir/ycsb/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

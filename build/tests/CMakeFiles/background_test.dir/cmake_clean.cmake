@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_test.dir/background_test.cc.o"
+  "CMakeFiles/background_test.dir/background_test.cc.o.d"
+  "background_test"
+  "background_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_store_test.dir/file_store_test.cc.o"
+  "CMakeFiles/file_store_test.dir/file_store_test.cc.o.d"
+  "file_store_test"
+  "file_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

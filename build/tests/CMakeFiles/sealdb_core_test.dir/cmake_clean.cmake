@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealdb_core_test.dir/sealdb_core_test.cc.o"
+  "CMakeFiles/sealdb_core_test.dir/sealdb_core_test.cc.o.d"
+  "sealdb_core_test"
+  "sealdb_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealdb_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

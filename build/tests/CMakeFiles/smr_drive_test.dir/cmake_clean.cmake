@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_drive_test.dir/smr_drive_test.cc.o"
+  "CMakeFiles/smr_drive_test.dir/smr_drive_test.cc.o.d"
+  "smr_drive_test"
+  "smr_drive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrdb_test.dir/smrdb_test.cc.o"
+  "CMakeFiles/smrdb_test.dir/smrdb_test.cc.o.d"
+  "smrdb_test"
+  "smrdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_test.dir/version_test.cc.o"
+  "CMakeFiles/version_test.dir/version_test.cc.o.d"
+  "version_test"
+  "version_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
