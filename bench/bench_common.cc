@@ -176,6 +176,10 @@ void PrintKV(const std::string& key, double value, const char* unit) {
   std::printf("%-42s %.3f %s\n", key.c_str(), value, unit);
 }
 
+void PrintDeviceStats(const std::string& key, const smr::DeviceStats& stats) {
+  PrintKV(key, stats.ToString());
+}
+
 std::string FormatMB(uint64_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / 1048576.0);

@@ -97,6 +97,10 @@ void PrintHeader(const std::string& title);
 void PrintKV(const std::string& key, const std::string& value);
 void PrintKV(const std::string& key, double value, const char* unit = "");
 
+// One-line device summary (traffic, AWA, and — when nonzero — the fault
+// counters: read/write errors, torn writes, crashes).
+void PrintDeviceStats(const std::string& key, const smr::DeviceStats& stats);
+
 std::string FormatMB(uint64_t bytes);
 
 }  // namespace sealdb::bench

@@ -52,6 +52,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(dev.rmw_ops));
     if (kind == baselines::SystemKind::kLevelDB) leveldb_mwa = mwa;
     if (kind == baselines::SystemKind::kSEALDB) sealdb_mwa = mwa;
+    PrintDeviceStats(std::string("  device [") +
+                         baselines::SystemName(kind) + "]",
+                     dev);
   }
 
   if (sealdb_mwa > 0) {

@@ -161,6 +161,11 @@ Status Stack::Reopen() {
   store_.reset();
   allocator_.reset();
 
+  // Power is restored only after the old stack is fully torn down, so any
+  // destructor-time flushes above hit the dead drive and fail — exactly the
+  // crash semantics the recovery tests rely on.
+  if (fault_ != nullptr) fault_->ClearCrash();
+
   const smr::Geometry geo = MakeGeometry(config_);
   allocator_ = MakeAllocator(config_, geo, &dyn_alloc_);
   store_ = std::make_unique<fs::FileStore>(drive_.get(), allocator_.get());
@@ -186,6 +191,12 @@ Status BuildStack(const StackConfig& config, const std::string& name,
   stack->drive_ = MakeDrive(config, &stack->shingled_);
   if (stack->drive_ == nullptr) {
     return Status::InvalidArgument("unknown system kind");
+  }
+  if (config.fault_injection) {
+    auto fault =
+        std::make_unique<smr::FaultInjectionDrive>(std::move(stack->drive_));
+    stack->fault_ = fault.get();
+    stack->drive_ = std::move(fault);
   }
   const smr::Geometry geo = MakeGeometry(config);
   stack->allocator_ = MakeAllocator(config, geo, &stack->dyn_alloc_);

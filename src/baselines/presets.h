@@ -19,6 +19,7 @@
 #include "fs/file_store.h"
 #include "lsm/db.h"
 #include "smr/drive.h"
+#include "smr/fault_injection_drive.h"
 #include "util/filter_policy.h"
 #include "util/options.h"
 
@@ -58,6 +59,10 @@ struct StackConfig {
   // to the geometric scale so seek:transfer economics match full scale.
   uint64_t time_scale = 1;
 
+  // Wrap the drive model in a FaultInjectionDrive so tests can inject
+  // read/write errors, torn writes, and power failures.
+  bool fault_injection = false;
+
   // Divide all size constants by `factor` (power of two suggested).
   StackConfig Scaled(uint64_t factor) const;
 };
@@ -77,6 +82,9 @@ class Stack {
   smr::Drive* drive() { return drive_.get(); }
   // Non-null only for kSEALDB.
   smr::ShingledDisk* shingled_disk() { return shingled_; }
+  // Non-null only when config.fault_injection is set (drive() then returns
+  // the wrapper itself).
+  smr::FaultInjectionDrive* fault_drive() { return fault_; }
   core::DynamicBandAllocator* dynamic_allocator() { return dyn_alloc_; }
   const Options& options() const { return options_; }
   const StackConfig& config() const { return config_; }
@@ -103,6 +111,7 @@ class Stack {
   std::unique_ptr<const FilterPolicy> filter_;
   std::unique_ptr<smr::Drive> drive_;
   smr::ShingledDisk* shingled_ = nullptr;
+  smr::FaultInjectionDrive* fault_ = nullptr;
   std::unique_ptr<fs::ExtentAllocator> allocator_;
   core::DynamicBandAllocator* dyn_alloc_ = nullptr;
   std::unique_ptr<fs::FileStore> store_;

@@ -19,6 +19,9 @@ constexpr size_t kRecordHeader = 4 + 8 + 4 + 4;  // magic, seq, len, crc
 constexpr uint64_t kReadaheadBytes = 256 * 1024;
 // Writable files push data to the media in chunks of this size.
 constexpr uint64_t kFlushChunkBytes = 256 * 1024;
+// Total read attempts per drive request before an IOError is classified as
+// permanent and the failing blocks are quarantined.
+constexpr int kReadAttempts = 3;
 
 uint64_t RoundUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
 uint64_t RoundDown(uint64_t v, uint64_t a) { return v / a * a; }
@@ -273,7 +276,7 @@ Status FileStore::JournalAppend(const std::string& payload) {
   PutFixed32(&rec, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   rec.append(payload);
   rec.resize(total, '\0');
-  Status s = drive_->Write(log_head_, rec);
+  Status s = DriveWrite(log_head_, rec);
   if (!s.ok()) return s;
   log_head_ += total;
   journal_records_++;
@@ -380,7 +383,7 @@ Status FileStore::WriteCheckpoint() {
     return Status::NoSpace("filestore checkpoint exceeds slot size");
   }
   rec.resize(RoundUp(rec.size(), block), '\0');
-  Status s = drive_->Write(SlotOffset(slot), rec);
+  Status s = DriveWrite(SlotOffset(slot), rec);
   if (!s.ok()) return s;
   active_slot_ = slot;
   log_head_ = LogBegin();
@@ -398,7 +401,7 @@ Status FileStore::Recover() {
   std::string scratch;
   for (int slot = 0; slot < 2; slot++) {
     scratch.resize(block);
-    if (!drive_->Read(SlotOffset(slot), block, scratch.data()).ok()) continue;
+    if (!DriveRead(SlotOffset(slot), block, scratch.data()).ok()) continue;
     Slice header(scratch);
     uint32_t magic, len, crc;
     uint64_t seq;
@@ -410,7 +413,7 @@ Status FileStore::Recover() {
     if (kRecordHeader + len > SlotBytes()) continue;
     const uint64_t total = RoundUp(kRecordHeader + len, block);
     scratch.resize(total);
-    if (!drive_->Read(SlotOffset(slot), total, scratch.data()).ok()) continue;
+    if (!DriveRead(SlotOffset(slot), total, scratch.data()).ok()) continue;
     const char* payload = scratch.data() + kRecordHeader;
     if (crc32c::Unmask(crc) != crc32c::Value(payload, len)) continue;
     if (seq > best_seq) {
@@ -432,7 +435,7 @@ Status FileStore::Recover() {
   uint64_t expect_seq = best_seq + 1;
   while (pos + block <= LogEnd()) {
     scratch.resize(block);
-    if (!drive_->Read(pos, block, scratch.data()).ok()) break;
+    if (!DriveRead(pos, block, scratch.data()).ok()) break;
     Slice header(scratch);
     uint32_t magic, len, crc;
     uint64_t seq;
@@ -445,7 +448,7 @@ Status FileStore::Recover() {
     const uint64_t total = RoundUp(kRecordHeader + len, block);
     if (pos + total > LogEnd()) break;
     scratch.resize(total);
-    if (!drive_->Read(pos, total, scratch.data()).ok()) break;
+    if (!DriveRead(pos, total, scratch.data()).ok()) break;
     const char* payload = scratch.data() + kRecordHeader;
     if (crc32c::Unmask(crc) != crc32c::Value(payload, len)) break;
     s = ApplyRecord(Slice(payload, len));
@@ -618,6 +621,109 @@ Status FileStore::PersistFileMeta(RecordTag tag, const std::string& name,
 // Data path
 // ---------------------------------------------------------------------
 
+Status FileStore::DriveRead(uint64_t offset, uint64_t n, char* scratch) {
+  const uint64_t block = drive_->geometry().block_bytes;
+
+  // Fail fast over quarantined blocks: one probe, no retry storm. A probe
+  // that succeeds (e.g. the sector was rewritten) lifts the quarantine.
+  if (!bad_blocks_.empty()) {
+    auto it = bad_blocks_.lower_bound(RoundDown(offset, block));
+    if (it != bad_blocks_.end() && *it < offset + n) {
+      Status s = drive_->Read(offset, n, scratch);
+      if (!s.ok()) {
+        return Status::IOError("read overlaps quarantined bad block");
+      }
+      while (it != bad_blocks_.end() && *it < offset + n) {
+        it = bad_blocks_.erase(it);
+      }
+      return s;
+    }
+  }
+
+  Status s;
+  for (int attempt = 0; attempt < kReadAttempts; attempt++) {
+    s = drive_->Read(offset, n, scratch);
+    if (s.ok() || !s.IsIOError()) return s;  // only I/O errors are retried
+  }
+
+  // Persistent failure: probe block-by-block to locate and quarantine the
+  // bad blocks, salvaging whatever still reads.
+  uint64_t bad = 0;
+  for (uint64_t off = RoundDown(offset, block); off < offset + n;
+       off += block) {
+    const uint64_t lo = std::max(off, offset);
+    const uint64_t hi = std::min(off + block, offset + n);
+    Status bs;
+    for (int attempt = 0; attempt < kReadAttempts; attempt++) {
+      bs = drive_->Read(lo, hi - lo, scratch + (lo - offset));
+      if (bs.ok() || !bs.IsIOError()) break;
+    }
+    if (!bs.ok()) {
+      bad_blocks_.insert(off);
+      bad++;
+    }
+  }
+  if (bad == 0) return Status::OK();  // every block salvaged on the probe
+  return Status::IOError("permanent read error",
+                         std::to_string(bad) + " blocks quarantined");
+}
+
+Status FileStore::DriveWrite(uint64_t offset, const Slice& data) {
+  Status s = drive_->Write(offset, data);
+  if (s.ok() && !bad_blocks_.empty()) {
+    // The rewrite remapped the sectors; their quarantine no longer applies.
+    const uint64_t block = drive_->geometry().block_bytes;
+    auto it = bad_blocks_.lower_bound(RoundDown(offset, block));
+    while (it != bad_blocks_.end() && *it < offset + data.size()) {
+      it = bad_blocks_.erase(it);
+    }
+  }
+  return s;
+}
+
+std::vector<uint64_t> FileStore::QuarantinedBlocks() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return {bad_blocks_.begin(), bad_blocks_.end()};
+}
+
+Status FileStore::Scrub(ScrubReport* report) {
+  std::lock_guard<std::mutex> l(mu_);
+  *report = ScrubReport();
+  const uint64_t block = drive_->geometry().block_bytes;
+  std::vector<char> buf(kReadaheadBytes);
+  for (const auto& [name, meta] : files_) {
+    report->files_scanned++;
+    bool damaged = false;
+    // Walk the logical bytes (rounded up to blocks) through the extent
+    // chain; over-allocated tail space beyond the file size never held
+    // data and is not scanned.
+    uint64_t remaining = RoundUp(meta.size, block);
+    for (const Extent& e : meta.extents) {
+      if (remaining == 0) break;
+      const uint64_t span = std::min(remaining, e.length);
+      for (uint64_t off = 0; off < span; off += buf.size()) {
+        const uint64_t m = std::min<uint64_t>(buf.size(), span - off);
+        Status s = DriveRead(e.offset + off, m, buf.data());
+        report->bytes_scanned += m;
+        if (!s.ok()) {
+          damaged = true;
+          // Count every quarantined block in this range, including blocks
+          // quarantined by earlier reads — extents are exclusively owned,
+          // so no block is counted twice per scrub.
+          const uint64_t begin = RoundDown(e.offset + off, block);
+          for (auto it = bad_blocks_.lower_bound(begin);
+               it != bad_blocks_.end() && *it < e.offset + off + m; ++it) {
+            report->bad_blocks++;
+          }
+        }
+      }
+      remaining -= span;
+    }
+    if (damaged) report->damaged_files.push_back(name);
+  }
+  return Status::OK();
+}
+
 Status FileStore::ReadExtents(const FileMeta& meta, uint64_t offset, size_t n,
                               char* scratch) {
   uint64_t remaining = n;
@@ -630,7 +736,7 @@ Status FileStore::ReadExtents(const FileMeta& meta, uint64_t offset, size_t n,
     if (pos < extent_end) {
       const uint64_t in_extent = pos - extent_begin;
       const uint64_t m = std::min(remaining, e.length - in_extent);
-      Status s = drive_->Read(e.offset + in_extent, m, dst);
+      Status s = DriveRead(e.offset + in_extent, m, dst);
       if (!s.ok()) return s;
       dst += m;
       pos += m;
@@ -780,7 +886,7 @@ Status FileStore::WriteAt(FileMeta* meta, uint64_t file_offset,
       if (pos < extent_end) {
         const uint64_t in_extent = pos - extent_begin;
         const uint64_t m = std::min(remaining, e.length - in_extent);
-        Status s = drive_->Write(e.offset + in_extent, Slice(src, m));
+        Status s = DriveWrite(e.offset + in_extent, Slice(src, m));
         if (!s.ok()) return s;
         src += m;
         pos += m;

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ class WritableFile {
   virtual Status Sync() = 0;
   // Flush everything (padding the final partial block) and persist.
   virtual Status Close() = 0;
+};
+
+// Result of a media scrub: which live files overlap unreadable blocks.
+struct ScrubReport {
+  uint64_t files_scanned = 0;
+  uint64_t bytes_scanned = 0;
+  uint64_t bad_blocks = 0;                 // unreadable blocks found
+  std::vector<std::string> damaged_files;  // sorted by name
 };
 
 class FileStore {
@@ -106,6 +115,17 @@ class FileStore {
   // Physical extent currently covered by the region.
   Status GetRegionExtent(uint64_t region_id, Extent* extent);
 
+  // ---- health / fault handling ----
+  // Walk every live file's extents verifying readability. Damaged files are
+  // reported (and their unreadable blocks quarantined); the walk itself
+  // always completes, so the Status is non-OK only for internal errors.
+  Status Scrub(ScrubReport* report);
+
+  // Blocks (byte offsets) whose reads kept failing after bounded retries.
+  // Reads overlapping a quarantined block fail fast with a single probe;
+  // a successful probe or rewrite lifts the quarantine.
+  std::vector<uint64_t> QuarantinedBlocks() const;
+
   // ---- introspection ----
   Status GetFileExtents(const std::string& name, std::vector<Extent>* out);
   smr::Drive* drive() { return drive_; }
@@ -114,6 +134,9 @@ class FileStore {
 
   // Count of live files; metadata journal writes performed.
   uint64_t journal_records_written() const { return journal_records_; }
+
+  // Which checkpoint slot holds the newest state (testing/inspection).
+  int active_checkpoint_slot() const { return active_slot_; }
 
  private:
   friend class StoreWritableFile;
@@ -145,6 +168,12 @@ class FileStore {
   };
 
   // Data-path helpers (mutex held by caller).
+  // Drive read with bounded retry: transient errors are retried, and a
+  // range that keeps failing is probed block-by-block so the precise bad
+  // blocks land in the quarantine list (salvaging the readable ones).
+  Status DriveRead(uint64_t offset, uint64_t n, char* scratch);
+  // Drive write; success lifts any quarantine covering the range.
+  Status DriveWrite(uint64_t offset, const Slice& data);
   Status ReadExtents(const FileMeta& meta, uint64_t offset, size_t n,
                      char* scratch);
   Status WriteAt(FileMeta* meta, uint64_t file_offset, const Slice& data,
@@ -187,6 +216,7 @@ class FileStore {
 
   std::map<std::string, FileMeta> files_;
   std::map<uint64_t, RegionMeta> regions_;
+  std::set<uint64_t> bad_blocks_;  // quarantined block byte offsets
   FreeMap conv_files_free_;  // appendable-file pool in the conventional region
   uint64_t next_region_id_ = 1;
 

@@ -673,6 +673,11 @@ Status DBImpl::TEST_CompactMemTable() {
   return s;
 }
 
+// Enter read-only degraded mode: the first persistent I/O error (failed WAL
+// append/sync, flush, compaction, or manifest write) is latched and every
+// subsequent write or compaction fails fast with it. Reads keep being served
+// from whatever state is already durable/in memory; re-opening the DB after
+// the underlying fault is repaired restores write availability.
 void DBImpl::RecordBackgroundError(const Status& s) {
   if (bg_error_.ok()) {
     bg_error_ = s;
@@ -1320,7 +1325,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       mutex_.unlock();
       const Slice contents = WriteBatchInternal::Contents(write_batch);
       status = log_->AddRecord(contents);
-      bool sync_error = false;
+      bool wal_error = !status.ok();
       if (status.ok() && options.sync) {
         // Pad to a full device block so the sync makes everything durable
         // without ever rewriting a block in place (SMR requirement).
@@ -1329,7 +1334,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           status = logfile_->Sync();
         }
         if (!status.ok()) {
-          sync_error = true;
+          wal_error = true;
         }
       }
       if (status.ok()) {
@@ -1339,10 +1344,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       stats_.wal_bytes_written += contents.size();
       // Count only the user payload (keys + values) toward user bytes.
       stats_.user_bytes_written += contents.size() - 12;
-      if (sync_error) {
+      if (wal_error) {
         // The state of the log file is indeterminate: the log record we
-        // just added may or may not show up when the DB is re-opened.
-        // So we force the DB into a mode where all future writes fail.
+        // just added (or a chunk of an earlier buffered one) may or may
+        // not show up when the DB is re-opened. So we force the DB into
+        // read-only mode, where all future writes fail.
         RecordBackgroundError(status);
       }
     }
@@ -1531,6 +1537,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       ok = true;
     } else if (in == "sstables") {
       *value = versions_->current()->DebugString();
+      ok = true;
+    } else if (in == "background-error") {
+      // "OK" when healthy; otherwise the latched error that put the DB in
+      // read-only mode.
+      *value = bg_error_.ToString();
       ok = true;
     } else if (in == "approximate-memory-usage") {
       size_t total_usage = 0;

@@ -15,6 +15,10 @@ DeviceStats DeviceStats::operator-(const DeviceStats& o) const {
   r.rmw_ops = rmw_ops - o.rmw_ops;
   r.seeks = seeks - o.seeks;
   r.busy_seconds = busy_seconds - o.busy_seconds;
+  r.read_errors = read_errors - o.read_errors;
+  r.write_errors = write_errors - o.write_errors;
+  r.torn_writes = torn_writes - o.torn_writes;
+  r.crashes = crashes - o.crashes;
   return r;
 }
 
@@ -31,7 +35,19 @@ std::string DeviceStats::ToString() const {
       static_cast<unsigned long long>(read_ops),
       static_cast<unsigned long long>(rmw_ops),
       static_cast<unsigned long long>(seeks), busy_seconds, awa());
-  return buf;
+  std::string out = buf;
+  if (read_errors != 0 || write_errors != 0 || torn_writes != 0 ||
+      crashes != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "; faults: %llu read errors, %llu write errors, "
+                  "%llu torn writes, %llu crashes",
+                  static_cast<unsigned long long>(read_errors),
+                  static_cast<unsigned long long>(write_errors),
+                  static_cast<unsigned long long>(torn_writes),
+                  static_cast<unsigned long long>(crashes));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace sealdb::smr

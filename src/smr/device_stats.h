@@ -28,6 +28,13 @@ struct DeviceStats {
   // Simulated device busy time in seconds.
   double busy_seconds = 0.0;
 
+  // Fault accounting (populated by FaultInjectionDrive; always zero on the
+  // plain drive models).
+  uint64_t read_errors = 0;   // failed read requests (injected or powered off)
+  uint64_t write_errors = 0;  // writes rejected without persisting anything
+  uint64_t torn_writes = 0;   // writes that persisted only a block prefix
+  uint64_t crashes = 0;       // simulated power-loss events
+
   // Auxiliary write amplification contributed by the device.
   double awa() const {
     return logical_bytes_written == 0

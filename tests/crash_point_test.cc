@@ -1,0 +1,168 @@
+// Crash-point sweep: run a write workload and cut the power at every k-th
+// block write, then recover from drive contents only (in the style of
+// LevelDB's fault_injection_test). Invariants at every crash point, for
+// every system preset:
+//   - every key acknowledged under sync is present with its exact value
+//   - every other written key is exact or absent — never garbage
+//   - keys never written stay absent
+//   - the recovered DB accepts new writes
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/presets.h"
+#include "lsm/db.h"
+#include "util/random.h"
+
+namespace sealdb {
+
+using baselines::BuildStack;
+using baselines::Stack;
+using baselines::StackConfig;
+using baselines::SystemKind;
+
+namespace {
+
+constexpr int kOps = 1000;
+constexpr int kSyncEvery = 7;
+
+StackConfig SweepConfig(SystemKind kind) {
+  StackConfig config;
+  config.kind = kind;
+  config.capacity_bytes = 256ull << 20;
+  config.band_bytes = 640 << 10;
+  config.sstable_bytes = 64 << 10;
+  config.write_buffer_bytes = 64 << 10;
+  config.track_bytes = 16 << 10;
+  config.conventional_bytes = 8 << 20;
+  config.fault_injection = true;
+  return config;
+}
+
+std::string Key(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%010d", i);
+  return buf;
+}
+
+std::string Value(int i, int generation) {
+  Random rnd(i * 131 + generation);
+  std::string v = "g" + std::to_string(generation) + ":";
+  while (v.size() < 512) v.push_back('a' + rnd.Uniform(26));
+  return v;
+}
+
+// Per-key ground truth. Values embed their generation, so a read can be
+// checked for being byte-exact against SOME write we actually issued.
+// Recovery restores a prefix of the write history that includes at least
+// everything up to the last acknowledged sync — so the recovered generation
+// must be >= the synced floor and <= the last (possibly in-flight) write.
+struct KeyState {
+  int synced_gen = -1;  // newest generation covered by an acked sync
+  int last_gen = -1;    // newest generation ever issued (even unacked)
+};
+
+// Run the workload until the drive dies (or it completes). Values large
+// enough to force flushes and compactions along the way.
+void RunWorkload(DB* db, std::map<std::string, KeyState>* state) {
+  std::map<std::string, int> pending;
+  for (int i = 0; i < kOps; i++) {
+    const std::string k = Key(i % 100);
+    WriteOptions wo;
+    wo.sync = (i % kSyncEvery == kSyncEvery - 1);
+    Status s = db->Put(wo, k, Value(i % 100, i));
+    (*state)[k].last_gen = i;  // issued: may have landed even if unacked
+    if (!s.ok()) return;       // power died mid-workload
+    pending[k] = i;
+    if (wo.sync) {
+      // A successful synced write makes everything before it durable.
+      for (auto& [pk, pg] : pending) (*state)[pk].synced_gen = pg;
+      pending.clear();
+    }
+  }
+}
+
+}  // namespace
+
+class CrashPointTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(CrashPointTest, EveryCrashPointRecovers) {
+  // Yardstick run: how many blocks does the full workload write?
+  uint64_t total_blocks = 0;
+  {
+    std::unique_ptr<Stack> stack;
+    ASSERT_TRUE(BuildStack(SweepConfig(GetParam()), "/db", &stack).ok());
+    std::map<std::string, KeyState> state;
+    RunWorkload(stack->db(), &state);
+    stack->db()->WaitForIdle();
+    total_blocks = stack->fault_drive()->blocks_written();
+  }
+  ASSERT_GT(total_blocks, 0u);
+
+  const uint64_t step = std::max<uint64_t>(1, total_blocks / 16);
+  for (uint64_t crash_at = 1; crash_at <= total_blocks; crash_at += step) {
+    SCOPED_TRACE("crash after " + std::to_string(crash_at) + " of " +
+                 std::to_string(total_blocks) + " blocks");
+    std::unique_ptr<Stack> stack;
+    ASSERT_TRUE(BuildStack(SweepConfig(GetParam()), "/db", &stack).ok());
+    stack->fault_drive()->CrashAfterBlockWrites(crash_at);
+
+    std::map<std::string, KeyState> state;
+    RunWorkload(stack->db(), &state);
+
+    // Power comes back inside Reopen(), after the dead stack is torn down.
+    const Status reopen = stack->Reopen();
+    ASSERT_TRUE(reopen.ok()) << reopen.ToString();
+    DB* db = stack->db();
+
+    std::string value;
+    for (const auto& [k, st] : state) {
+      Status s = db->Get(ReadOptions(), k, &value);
+      const int id = std::stoi(k.substr(3));
+      if (s.ok()) {
+        // The bytes must be exactly a value we issued for this key, no
+        // older than the synced floor and no newer than the last write.
+        const size_t colon = value.find(':');
+        ASSERT_TRUE(value.rfind("g", 0) == 0 && colon != std::string::npos)
+            << "garbage under " << k;
+        const int gen = std::stoi(value.substr(1, colon - 1));
+        ASSERT_EQ(Value(id, gen), value) << "garbage under " << k;
+        ASSERT_EQ(id, gen % 100) << "foreign value under " << k;
+        ASSERT_LE(gen, st.last_gen) << "future value under " << k;
+        ASSERT_GE(gen, st.synced_gen) << "synced write rolled back: " << k;
+      } else {
+        ASSERT_TRUE(s.IsNotFound()) << k << ": " << s.ToString();
+        ASSERT_LT(st.synced_gen, 0) << "synced key lost: " << k;
+      }
+    }
+    ASSERT_TRUE(db->Get(ReadOptions(), "never-written", &value).IsNotFound());
+
+    // The recovered DB accepts and persists new writes.
+    WriteOptions sync;
+    sync.sync = true;
+    ASSERT_TRUE(db->Put(sync, "post-crash", "alive").ok());
+    ASSERT_TRUE(db->Get(ReadOptions(), "post-crash", &value).ok());
+    ASSERT_EQ("alive", value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, CrashPointTest,
+                         ::testing::Values(SystemKind::kLevelDB,
+                                           SystemKind::kSMRDB,
+                                           SystemKind::kSEALDB),
+                         [](const ::testing::TestParamInfo<SystemKind>& info) {
+                           switch (info.param) {
+                             case SystemKind::kLevelDB:
+                               return "LevelDB";
+                             case SystemKind::kSMRDB:
+                               return "SMRDB";
+                             case SystemKind::kSEALDB:
+                               return "SEALDB";
+                             default:
+                               return "Other";
+                           }
+                         });
+
+}  // namespace sealdb

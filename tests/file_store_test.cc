@@ -9,6 +9,7 @@
 #include "fs/ext4_allocator.h"
 #include "fs/file_store.h"
 #include "smr/drive.h"
+#include "smr/fault_injection_drive.h"
 #include "util/random.h"
 
 namespace sealdb::fs {
@@ -38,7 +39,8 @@ class FileStoreTest : public ::testing::Test {
       smr::Geometry geo;
       geo.capacity_bytes = 256ull << 20;
       geo.conventional_bytes = 8 << 20;
-      drive_ = smr::NewShingledDisk(geo, smr::LatencyParams::Smr());
+      drive_ = std::make_unique<smr::FaultInjectionDrive>(
+          smr::NewShingledDisk(geo, smr::LatencyParams::Smr()));
     }
     core::DynamicBandOptions opt;
     opt.base = 8 << 20;
@@ -69,7 +71,7 @@ class FileStoreTest : public ::testing::Test {
     return result.ToString();
   }
 
-  std::unique_ptr<smr::ShingledDisk> drive_;
+  std::unique_ptr<smr::FaultInjectionDrive> drive_;
   std::unique_ptr<core::DynamicBandAllocator> allocator_;
   std::unique_ptr<FileStore> store_;
 };
@@ -334,7 +336,11 @@ TEST_F(FileStoreTest, UnsyncedDataLostOnCrash) {
   ASSERT_TRUE(f->Append(std::string(8192, 'x')).ok());
   ASSERT_TRUE(f->Flush().ok());
   // Flushed but not synced: metadata journal doesn't know the size yet.
-  f.release();  // leak intentionally to skip Close (crash simulation)
+  // Power cut: the destructor's Close hits a dead drive and persists
+  // nothing; Reopen() restores power and recovers.
+  drive_->PowerOff();
+  f.reset();
+  drive_->ClearCrash();
 
   Reopen();
   uint64_t size = 0;
@@ -347,7 +353,9 @@ TEST_F(FileStoreTest, SyncedDataSurvivesCrash) {
   ASSERT_TRUE(store_->NewWritableFile("/db/a", 1 << 20, &f).ok());
   ASSERT_TRUE(f->Append(std::string(8192, 'y')).ok());
   ASSERT_TRUE(f->Sync().ok());
-  f.release();  // crash without Close
+  drive_->PowerOff();  // crash without Close
+  f.reset();
+  drive_->ClearCrash();
 
   Reopen();
   uint64_t size = 0;
@@ -387,7 +395,8 @@ TEST_P(FileStoreCrashFuzzTest, DurabilityContract) {
   smr::Geometry geo;
   geo.capacity_bytes = 256ull << 20;
   geo.conventional_bytes = 8 << 20;
-  auto drive = smr::NewShingledDisk(geo, smr::LatencyParams::Smr());
+  auto drive = std::make_unique<smr::FaultInjectionDrive>(
+      smr::NewShingledDisk(geo, smr::LatencyParams::Smr()));
 
   core::DynamicBandOptions aopt;
   aopt.base = 8 << 20;
@@ -414,9 +423,9 @@ TEST_P(FileStoreCrashFuzzTest, DurabilityContract) {
 
   auto reopen = [&](bool crash) {
     if (crash) {
-      // Power cut: leak the open handles so their destructors (which
-      // would Close and persist) never run.
-      for (auto& f : open_files) f.handle.release();
+      // Power cut: the open handles' destructors Close into a dead drive
+      // and persist nothing.
+      drive->PowerOff();
     } else {
       for (auto& f : open_files) {
         ASSERT_TRUE(f.handle->Close().ok());
@@ -425,6 +434,7 @@ TEST_P(FileStoreCrashFuzzTest, DurabilityContract) {
     }
     open_files.clear();
     store.reset();
+    drive->ClearCrash();
     allocator = std::make_unique<core::DynamicBandAllocator>(aopt);
     store = std::make_unique<FileStore>(drive.get(), allocator.get());
     ASSERT_TRUE(store->Recover().ok());

@@ -11,6 +11,7 @@
 #include "lsm/log_reader.h"
 #include "lsm/log_writer.h"
 #include "smr/drive.h"
+#include "smr/fault_injection_drive.h"
 #include "util/random.h"
 
 namespace sealdb::log {
@@ -40,7 +41,8 @@ class LogTest : public ::testing::Test {
     smr::Geometry geo;
     geo.capacity_bytes = 128ull << 20;
     geo.conventional_bytes = 4 << 20;
-    drive_ = smr::NewHddDrive(geo, smr::LatencyParams::Hdd());
+    drive_ = std::make_unique<smr::FaultInjectionDrive>(
+        smr::NewHddDrive(geo, smr::LatencyParams::Hdd()));
     core::DynamicBandOptions opt;
     opt.base = 4 << 20;
     opt.limit = 128ull << 20;
@@ -89,7 +91,7 @@ class LogTest : public ::testing::Test {
     return records;
   }
 
-  std::unique_ptr<smr::Drive> drive_;
+  std::unique_ptr<smr::FaultInjectionDrive> drive_;
   std::unique_ptr<core::DynamicBandAllocator> allocator_;
   std::unique_ptr<fs::FileStore> store_;
   std::unique_ptr<fs::WritableFile> dest_;
@@ -206,7 +208,9 @@ TEST_F(LogTest, TruncatedTailIgnored) {
   ASSERT_TRUE(writer_->AddRecord(Slice(BigString("tail", 30000))).ok());
   ASSERT_TRUE(dest_->Flush().ok());
   ASSERT_TRUE(dest_->Sync().ok());
-  dest_.release();  // crash: buffered partial block lost
+  drive_->PowerOff();  // crash: buffered partial block lost
+  dest_.reset();
+  drive_->ClearCrash();
   writer_.reset();
 
   size_t dropped = 0;
