@@ -1,0 +1,290 @@
+// Smoke benchmark for the set-parallel compaction executor. Runs the SEALDB
+// preset twice through a fill + random-read cycle — once in the seed's
+// single-threaded configuration (1 worker, per-block compaction reads, no
+// block cache) and once with the executor bundle (4 workers, double-buffered
+// extent readahead, shared LRU block cache) — and emits BENCH_smoke.json
+// with wall-clock and device-time ops/s, p50/p99 operation latency, the
+// device's seek/transfer time split, and the compaction-parallelism
+// high-water mark.
+//
+// Sustained ops/s follows the repo's performance currency (simulated device
+// seconds; see smr/latency_model.h): the drive is the bottleneck the paper
+// measures, so `device_ops_per_second` is the headline number and wall-clock
+// figures ride along for the perf trajectory.
+//
+// The read phase defaults to a 95/5 hotspot mix (95% of point reads hit the
+// hottest 1% of the key space) — the re-read pattern the shared block cache
+// exists for; --uniform switches to uniformly random keys.
+//
+//   --mb=N      user data volume per config (default 24)
+//   --scale=N   geometric scale divisor (default 16)
+//   --uniform   uniformly random reads instead of the hotspot mix
+//   --out=PATH  JSON output path (default BENCH_smoke.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace sealdb::bench {
+namespace {
+
+using baselines::BuildStack;
+using baselines::Stack;
+using baselines::StackConfig;
+using baselines::SystemKind;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseResult {
+  uint64_t ops = 0;
+  double wall_seconds = 0.0;
+  double drain_seconds = 0.0;  // share of wall spent in final WaitForIdle
+  double device_seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+
+  double wall_ops_per_second() const {
+    return wall_seconds > 0 ? ops / wall_seconds : 0.0;
+  }
+  double device_ops_per_second() const {
+    return device_seconds > 0 ? ops / device_seconds : 0.0;
+  }
+};
+
+void FillPercentiles(std::vector<uint32_t>& lat, PhaseResult* r) {
+  if (lat.empty()) return;
+  auto nth = [&](double q) {
+    size_t idx = static_cast<size_t>(q * (lat.size() - 1));
+    std::nth_element(lat.begin(), lat.begin() + idx, lat.end());
+    return static_cast<double>(lat[idx]);
+  };
+  r->p50_us = nth(0.50);
+  r->p99_us = nth(0.99);
+}
+
+struct ConfigResult {
+  std::string label;
+  int workers = 0;
+  PhaseResult fill;
+  PhaseResult read;
+  double seek_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double busy_seconds = 0.0;
+  uint64_t max_parallel_compactions = 0;
+  uint64_t num_compactions = 0;
+};
+
+ConfigResult RunConfig(const BenchParams& params, const std::string& label,
+                       int workers, bool executor_features,
+                       bool uniform_reads) {
+  ConfigResult out;
+  out.label = label;
+  out.workers = workers;
+
+  StackConfig config = params.MakeConfig(SystemKind::kSEALDB);
+  config.inline_compactions = false;
+  config.max_background_compactions = workers;
+  config.compaction_readahead = executor_features;
+  config.enable_block_cache = executor_features;
+
+  std::unique_ptr<Stack> stack;
+  Status s = BuildStack(config, "/bench_smoke", &stack);
+  if (!s.ok()) {
+    std::fprintf(stderr, "BuildStack failed: %s\n", s.ToString().c_str());
+    return out;
+  }
+  DB* db = stack->db();
+  const uint64_t entries = params.entries();
+
+  // Fill: uniformly random key order, sustained (WaitForIdle counted, so a
+  // backlog the single worker defers still shows up in its wall time).
+  {
+    Random rnd(301);
+    std::vector<uint32_t> lat;
+    lat.reserve(entries);
+    WriteOptions wo;
+    const double wall0 = NowSeconds();
+    const double dev0 = stack->device_stats().busy_seconds;
+    for (uint64_t i = 0; i < entries; i++) {
+      const uint64_t id = rnd.Next64() % entries;
+      const std::string key = MakeKey(id, params.key_bytes);
+      const std::string value = MakeValue(i, params.value_bytes());
+      const double t0 = NowSeconds();
+      s = db->Put(wo, key, value);
+      lat.push_back(static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
+      if (!s.ok()) {
+        std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+        break;
+      }
+      out.fill.ops++;
+    }
+    const double drain0 = NowSeconds();
+    db->WaitForIdle();
+    out.fill.drain_seconds = NowSeconds() - drain0;
+    out.fill.wall_seconds = NowSeconds() - wall0;
+    out.fill.device_seconds = stack->device_stats().busy_seconds - dev0;
+    FillPercentiles(lat, &out.fill);
+  }
+
+  // Point reads over the loaded keys: hotspot mix by default (see header),
+  // uniformly random with --uniform.
+  {
+    Random rnd(401);
+    std::vector<uint32_t> lat;
+    lat.reserve(params.read_ops);
+    ReadOptions ro;
+    std::string value;
+    const uint64_t hot_span = std::max<uint64_t>(1, entries / 100);
+    const double wall0 = NowSeconds();
+    const double dev0 = stack->device_stats().busy_seconds;
+    for (uint64_t i = 0; i < params.read_ops; i++) {
+      uint64_t id;
+      if (uniform_reads || rnd.Uniform(100) >= 95) {
+        id = rnd.Next64() % entries;
+      } else {
+        id = rnd.Next64() % hot_span;
+      }
+      const std::string key = MakeKey(id, params.key_bytes);
+      const double t0 = NowSeconds();
+      db->Get(ro, key, &value);
+      lat.push_back(static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
+      out.read.ops++;
+    }
+    out.read.wall_seconds = NowSeconds() - wall0;
+    out.read.device_seconds = stack->device_stats().busy_seconds - dev0;
+    FillPercentiles(lat, &out.read);
+  }
+
+  const smr::DeviceStats dev = stack->device_stats();
+  out.seek_seconds = dev.position_seconds;
+  out.transfer_seconds = dev.busy_seconds - dev.position_seconds;
+  out.busy_seconds = dev.busy_seconds;
+  const DbStats db_stats = db->GetDbStats();
+  out.max_parallel_compactions = db_stats.max_parallel_compactions;
+  out.num_compactions = db_stats.num_compactions;
+  return out;
+}
+
+void EmitPhase(std::FILE* f, const char* name, const PhaseResult& r,
+               bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"ops\": %llu, \"wall_seconds\": %.4f, "
+               "\"drain_seconds\": %.4f, "
+               "\"device_seconds\": %.4f, \"wall_ops_per_second\": %.1f, "
+               "\"device_ops_per_second\": %.1f, \"p50_us\": %.1f, "
+               "\"p99_us\": %.1f}%s\n",
+               name, static_cast<unsigned long long>(r.ops), r.wall_seconds,
+               r.drain_seconds,
+               r.device_seconds, r.wall_ops_per_second(),
+               r.device_ops_per_second(), r.p50_us, r.p99_us,
+               trailing_comma ? "," : "");
+}
+
+void EmitConfig(std::FILE* f, const ConfigResult& r, bool trailing_comma) {
+  std::fprintf(f, "  {\n    \"label\": \"%s\",\n    \"workers\": %d,\n",
+               r.label.c_str(), r.workers);
+  EmitPhase(f, "fill", r.fill, true);
+  EmitPhase(f, "read", r.read, true);
+  std::fprintf(f,
+               "    \"device\": {\"busy_seconds\": %.4f, "
+               "\"seek_seconds\": %.4f, \"transfer_seconds\": %.4f},\n"
+               "    \"num_compactions\": %llu,\n"
+               "    \"max_parallel_compactions\": %llu\n  }%s\n",
+               r.busy_seconds, r.seek_seconds, r.transfer_seconds,
+               static_cast<unsigned long long>(r.num_compactions),
+               static_cast<unsigned long long>(r.max_parallel_compactions),
+               trailing_comma ? "," : "");
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchParams params = BenchParams::FromFlags(flags);
+  params.load_mb = flags.GetInt("mb", 24);
+  // Balanced fill+read cycle: as many point reads as fill puts, so neither
+  // phase dominates the sustained figure.
+  params.read_ops = flags.GetInt("read_ops", params.entries());
+  const std::string out_path = flags.GetString("out", "BENCH_smoke.json");
+
+  PrintHeader("smoke: parallel compaction executor (SEALDB)");
+  PrintKV("data volume", FormatMB(params.load_mb << 20));
+  PrintKV("entries", static_cast<double>(params.entries()), "");
+
+  const bool uniform_reads = flags.GetBool("uniform", false);
+
+  // Baseline: the seed's single-threaded configuration. Treatment: this
+  // PR's executor bundle with four workers on the same simulated drive.
+  const ConfigResult serial =
+      RunConfig(params, "single-threaded-seed", 1, false, uniform_reads);
+  const ConfigResult parallel =
+      RunConfig(params, "executor-4w", 4, true, uniform_reads);
+
+  auto sustained = [](const ConfigResult& r) {
+    const double dev = r.fill.device_seconds + r.read.device_seconds;
+    return dev > 0 ? (r.fill.ops + r.read.ops) / dev : 0.0;
+  };
+  auto sustained_wall = [](const ConfigResult& r) {
+    const double wall = r.fill.wall_seconds + r.read.wall_seconds;
+    return wall > 0 ? (r.fill.ops + r.read.ops) / wall : 0.0;
+  };
+  const double speedup =
+      sustained(serial) > 0 ? sustained(parallel) / sustained(serial) : 0.0;
+  const double wall_speedup = sustained_wall(serial) > 0
+                                  ? sustained_wall(parallel) /
+                                        sustained_wall(serial)
+                                  : 0.0;
+
+  for (const ConfigResult* r : {&serial, &parallel}) {
+    char title[64];
+    std::snprintf(title, sizeof(title), "%s (workers=%d)", r->label.c_str(),
+                  r->workers);
+    PrintHeader(title);
+    PrintKV("fill device ops/s", r->fill.device_ops_per_second(), "");
+    PrintKV("read device ops/s", r->read.device_ops_per_second(), "");
+    PrintKV("fill wall ops/s", r->fill.wall_ops_per_second(), "");
+    PrintKV("fill wall / drain", r->fill.wall_seconds, "s");
+    PrintKV("fill drain share", r->fill.drain_seconds, "s");
+    PrintKV("fill p50/p99", r->fill.p50_us, "us p50");
+    PrintKV("fill p99", r->fill.p99_us, "us");
+    PrintKV("read wall ops/s", r->read.wall_ops_per_second(), "");
+    PrintKV("device seek time", r->seek_seconds, "s");
+    PrintKV("device transfer time", r->transfer_seconds, "s");
+    PrintKV("compactions", static_cast<double>(r->num_compactions), "");
+    PrintKV("max parallel compactions",
+            static_cast<double>(r->max_parallel_compactions), "");
+  }
+  PrintHeader("comparison");
+  PrintKV("sustained device ops/s speedup", speedup, "x");
+  PrintKV("sustained wall ops/s speedup", wall_speedup, "x");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n\"bench\": \"smoke\",\n\"system\": \"SEALDB\",\n"
+               "\"scale\": %llu,\n\"load_mb\": %llu,\n\"configs\": [\n",
+               static_cast<unsigned long long>(params.scale),
+               static_cast<unsigned long long>(params.load_mb));
+  EmitConfig(f, serial, true);
+  EmitConfig(f, parallel, false);
+  std::fprintf(f,
+               "],\n\"sustained_device_ops_speedup\": %.3f,\n"
+               "\"sustained_wall_ops_speedup\": %.3f\n}\n",
+               speedup, wall_speedup);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sealdb::bench
+
+int main(int argc, char** argv) { return sealdb::bench::Run(argc, argv); }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite in the default
+# configuration and under ThreadSanitizer. The TSan pass exists for the
+# parallel compaction executor — the `stress` label marks the tests that
+# exercise concurrent compactions hardest, and `-L stress` re-runs them
+# a few extra times under TSan to shake out schedule-dependent races.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   TSan config runs only the stress-labelled tests instead of
+#            the full suite (the full default-config suite always runs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== default configuration =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== thread sanitizer configuration =="
+cmake -B build-tsan -S . -DSEALDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+if [ "$FAST" = 1 ]; then
+  ctest --test-dir build-tsan --output-on-failure -L stress --repeat until-fail:3
+else
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -L stress --repeat until-fail:3
+fi
+
+echo
+echo "check.sh: all configurations green"

@@ -27,6 +27,8 @@ StackConfig StackConfig::Scaled(uint64_t factor) const {
   c.band_bytes /= factor;
   c.sstable_bytes /= factor;
   c.write_buffer_bytes /= factor;
+  c.block_cache_bytes = std::max<uint64_t>(256 << 10,
+                                           block_cache_bytes / factor);
   c.track_bytes = static_cast<uint32_t>(
       std::max<uint64_t>(4096, track_bytes / factor));
   c.conventional_bytes = std::max<uint64_t>(4ull << 20,
@@ -54,6 +56,20 @@ Options MakeOptions(const StackConfig& config, const FilterPolicy* filter) {
   opt.max_file_size = config.sstable_bytes;
   opt.filter_policy = filter;
   opt.inline_compactions = config.inline_compactions;
+  opt.block_cache_bytes = config.enable_block_cache ? config.block_cache_bytes
+                                                    : 0;
+  opt.compaction_readahead = config.compaction_readahead;
+  // Per-system executor width: set/band designs have naturally disjoint
+  // compaction units, so they profit most from extra workers.
+  if (config.max_background_compactions > 0) {
+    opt.max_background_compactions = config.max_background_compactions;
+  } else {
+    opt.max_background_compactions =
+        (config.kind == SystemKind::kSEALDB ||
+         config.kind == SystemKind::kSMRDB)
+            ? 4
+            : 2;
+  }
   opt.max_bytes_for_level_base = 10 * config.sstable_bytes;
   opt.max_manifest_file_size =
       std::max<uint64_t>(256 << 10, 2 * config.write_buffer_bytes);

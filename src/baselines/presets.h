@@ -55,6 +55,21 @@ struct StackConfig {
   int bloom_bits_per_key = 10;
   bool inline_compactions = true;
 
+  // Worker threads for the background compaction executor (only used when
+  // inline_compactions is false). 0 = pick a per-system default: SEALDB and
+  // SMRDB compact disjoint sets/bands in parallel and get 4; the LevelDB
+  // variants get 2.
+  int max_background_compactions = 0;
+
+  // Shared LRU block cache for the foreground read path. Scaled with the
+  // stack; disable for cache-sensitivity benches.
+  bool enable_block_cache = true;
+  uint64_t block_cache_bytes = 8ull << 20;
+
+  // Double-buffered chunked readahead for compaction input scans; off
+  // reproduces the seed's per-block compaction read pattern.
+  bool compaction_readahead = true;
+
   // Positioning-time divisor applied to the latency model, normally equal
   // to the geometric scale so seek:transfer economics match full scale.
   uint64_t time_scale = 1;
@@ -89,12 +104,14 @@ class Stack {
   const Options& options() const { return options_; }
   const StackConfig& config() const { return config_; }
 
-  smr::DeviceStats device_stats() const { return drive_->stats(); }
+  // Routed through the FileStore so the snapshot is taken under its mutex
+  // (background compaction workers touch the drive concurrently).
+  smr::DeviceStats device_stats() const { return store_->device_stats(); }
   DbStats db_stats() { return db_->GetDbStats(); }
 
   // Paper Table I metrics.
   double wa() { return db_->GetDbStats().wa(); }
-  double awa() const { return drive_->stats().awa(); }
+  double awa() const { return store_->device_stats().awa(); }
   double mwa() { return wa() * awa(); }
 
   // Tear down and reopen the DB over the same drive contents, simulating a

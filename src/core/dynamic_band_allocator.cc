@@ -64,6 +64,14 @@ Status DynamicBandAllocator::AllocateGuarded(uint64_t size, fs::Extent* out) {
   return AllocateImpl(size, /*force_guard=*/true, out);
 }
 
+Status DynamicBandAllocator::AllocateNear(uint64_t size, uint64_t goal,
+                                          fs::Extent* out) {
+  // Dynamic bands place by free-list policy, not goal blocks; what matters
+  // for a growing file is the guard (see header).
+  (void)goal;
+  return AllocateImpl(size, /*force_guard=*/true, out);
+}
+
 Status DynamicBandAllocator::AllocateImpl(uint64_t size, bool force_guard,
                                           fs::Extent* out) {
   if (!finalized_) FinalizeReserves();
@@ -183,7 +191,15 @@ void DynamicBandAllocator::Shrink(fs::Extent* e, uint64_t new_length) {
             (unsigned long long)e->guard, (unsigned long long)new_length);
   const uint64_t keep = RoundToTrack(new_length);
   assert(keep <= e->length);
-  if (keep == e->length) return;
+  if (keep == e->length) {
+    if (e->guard == 0) return;
+    // Exactly-full extent of a file being closed: it will never be written
+    // again, so its trailing shingle guard returns to the free pool.
+    guard_attached_ -= e->guard;
+    ReleaseRange(e->offset + e->length, e->guard);
+    e->guard = 0;
+    return;
+  }
   const uint64_t tail = e->length - keep + e->guard;
   allocated_ -= e->length - keep;
   guard_attached_ -= e->guard;

@@ -49,6 +49,11 @@ class DynamicBandAllocator final : public fs::ExtentAllocator {
 
   Status Allocate(uint64_t size, fs::Extent* out) override;
   Status AllocateGuarded(uint64_t size, fs::Extent* out) override;
+  // Growth of a still-open file: the goal is ignored (placement follows the
+  // free-space list like any band) but the extent is guarded — with
+  // concurrent compactions, a later allocation can land directly behind it
+  // while its tail tracks are still being written.
+  Status AllocateNear(uint64_t size, uint64_t goal, fs::Extent* out) override;
   void Free(const fs::Extent& e) override;
   void Shrink(fs::Extent* e, uint64_t new_length) override;
   Status Reserve(const fs::Extent& e) override;

@@ -92,6 +92,12 @@ class FileStore {
                          bool appendable = false);
   Status NewRandomAccessFile(const std::string& name,
                              std::unique_ptr<RandomAccessFile>* result);
+  // Streaming reader for front-to-back scans (set-granularity compaction
+  // inputs): fetches `window`-byte chunks and prefetches the next chunk on
+  // a dedicated thread while the caller consumes the previous one, so
+  // decode/merge overlaps the next chunk's device read.
+  Status NewReadaheadFile(const std::string& name, uint64_t window,
+                          std::unique_ptr<RandomAccessFile>* result);
   Status NewSequentialFile(const std::string& name,
                            std::unique_ptr<SequentialFile>* result);
   Status RemoveFile(const std::string& name);
@@ -138,10 +144,17 @@ class FileStore {
   // Which checkpoint slot holds the newest state (testing/inspection).
   int active_checkpoint_slot() const { return active_slot_; }
 
+  // One locked read of [offset, offset+n) from a live file (readahead
+  // worker entry point; offset/n must be device-block aligned within the
+  // block-rounded file size).
+  Status ReadFileRange(const std::string& name, uint64_t offset, uint64_t n,
+                       char* scratch);
+
  private:
   friend class StoreWritableFile;
   friend class StoreRandomAccessFile;
   friend class StoreSequentialFile;
+  friend class StoreReadaheadFile;
 
   struct FileMeta {
     std::vector<Extent> extents;

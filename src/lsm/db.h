@@ -65,6 +65,19 @@ struct DbStats {
   uint64_t num_flushes = 0;
   double compaction_device_seconds = 0.0;
 
+  // Per-stage compaction wall time (microseconds), accumulated across all
+  // compactions: victim selection, input iteration (reads + decode), merge
+  // bookkeeping, output building, and manifest install.
+  uint64_t compaction_pick_micros = 0;
+  uint64_t compaction_read_micros = 0;
+  uint64_t compaction_merge_micros = 0;
+  uint64_t compaction_write_micros = 0;
+  uint64_t compaction_install_micros = 0;
+
+  // High-water mark of compactions executing concurrently (1 with the
+  // single-threaded executor; >=2 once disjoint sets compact in parallel).
+  uint64_t max_parallel_compactions = 0;
+
   // Paper Table I: WA = data written by the LSM-tree / user data.
   double wa() const {
     if (user_bytes_written == 0) return 1.0;

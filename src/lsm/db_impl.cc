@@ -1,6 +1,7 @@
 #include "lsm/db_impl.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -14,11 +15,21 @@
 #include "lsm/table_builder.h"
 #include "lsm/table_cache.h"
 #include "lsm/write_batch.h"
+#include "util/cache.h"
 #include "util/logging.h"
 
 namespace sealdb {
 
 const int kNumNonTableCacheFiles = 10;
+
+// Wall-clock micros for the per-stage compaction accounting (device time is
+// tracked separately by the simulated drive's latency model).
+static uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Information kept for every waiting writer
 struct DBImpl::Writer {
@@ -80,7 +91,8 @@ static void ClipToRange(T* ptr, V minvalue, V maxvalue) {
 static Options SanitizeOptions(const std::string& dbname,
                                const InternalKeyComparator* icmp,
                                const InternalFilterPolicy* ipolicy,
-                               const Options& src) {
+                               const Options& src,
+                               std::unique_ptr<Cache>* owned_block_cache) {
   (void)dbname;
   Options result = src;
   result.comparator = icmp;
@@ -89,8 +101,13 @@ static Options SanitizeOptions(const std::string& dbname,
   ClipToRange(&result.write_buffer_size, 16 << 10, 1 << 30);
   ClipToRange(&result.max_file_size, 16 << 10, 1 << 30);
   ClipToRange(&result.block_size, 1 << 10, 4 << 20);
+  ClipToRange(&result.max_background_compactions, 1, 8);
   if (result.num_levels < 2) result.num_levels = 2;
   if (result.num_levels > 16) result.num_levels = 16;
+  if (result.block_cache == nullptr && result.block_cache_bytes > 0) {
+    *owned_block_cache = NewLRUCache(result.block_cache_bytes);
+    result.block_cache = owned_block_cache->get();
+  }
   return result;
 }
 
@@ -104,7 +121,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
     : internal_comparator_(raw_options.comparator),
       internal_filter_policy_(raw_options.filter_policy),
       options_(SanitizeOptions(dbname, &internal_comparator_,
-                               &internal_filter_policy_, raw_options)),
+                               &internal_filter_policy_, raw_options,
+                               &owned_block_cache_)),
       dbname_(dbname),
       store_(store),
       table_cache_(std::make_unique<TableCache>(dbname_, options_, store_,
@@ -118,7 +136,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       log_(nullptr),
       seed_(0),
       tmp_batch_(new WriteBatch),
-      background_compaction_scheduled_(false),
+      reservations_(internal_comparator_.user_comparator()),
       versions_(std::make_unique<VersionSet>(dbname_, &options_, store_,
                                              table_cache_.get(),
                                              &internal_comparator_)) {
@@ -129,18 +147,15 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
 }
 
 DBImpl::~DBImpl() {
-  // Wait for background work to finish.
+  // Wake every worker; in-flight compactions notice shutting_down_ at their
+  // next key and abort, then the join below drains the pool.
   mutex_.lock();
   shutting_down_.store(true, std::memory_order_release);
-  if (background_thread_started_) {
-    background_wakeup_.notify_all();
-    while (background_compaction_scheduled_) {
-      background_work_finished_signal_.wait(mutex_);
-    }
-  }
+  background_wakeup_.notify_all();
+  background_work_finished_signal_.notify_all();
   mutex_.unlock();
-  if (background_thread_started_) {
-    background_thread_.join();
+  for (std::thread& t : bg_threads_) {
+    t.join();
   }
 
   delete tmp_batch_;
@@ -211,6 +226,12 @@ void DBImpl::RemoveObsoleteFiles() {
     // or may not have been committed, so we cannot safely garbage collect.
     return;
   }
+  if (removing_obsolete_files_) {
+    // Another worker is mid-deletion (it drops mutex_ while unlinking);
+    // whatever this call would have collected is caught by the next one.
+    return;
+  }
+  removing_obsolete_files_ = true;
 
   // Make a set of all of the live files
   std::set<uint64_t> live = pending_outputs_;
@@ -273,6 +294,7 @@ void DBImpl::RemoveObsoleteFiles() {
       set_manager_->OnFileDeleted(number_deleted);
     }
   }
+  removing_obsolete_files_ = false;
 }
 
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
@@ -544,6 +566,13 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
     const Slice max_user_key = meta.largest.user_key();
     if (base != nullptr) {
       level = base->PickLevelForMemTableOutput(min_user_key, max_user_key);
+      // A concurrent compaction may install outputs inside this key range at
+      // a sorted level (its future outputs are invisible to the placement
+      // check above). Demote past any reserved span; L0 tolerates overlap.
+      while (level > 0 &&
+             reservations_.RangeReserved(level, min_user_key, max_user_key)) {
+        level--;
+      }
     }
     edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
                   meta.largest, /*set_id=*/0);
@@ -580,6 +609,7 @@ void DBImpl::CompactMemTable() {
     imm_->Unref();
     imm_ = nullptr;
     has_imm_.store(false, std::memory_order_release);
+    pick_exhausted_ = false;  // the new L0 file may enable a compaction
     RemoveObsoleteFiles();
   } else {
     RecordBackgroundError(s);
@@ -631,8 +661,19 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
   }
 
   mutex_.lock();
-  Compaction* c = versions_->CompactRange(level, begin_key, end_key);
-  if (c != nullptr) {
+  while (bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+    Compaction* c = versions_->CompactRange(level, begin_key, end_key);
+    if (c == nullptr) break;
+    // Serialize against background workers: if a running compaction
+    // overlaps this range, drop the pick, wait for it to finish, and
+    // re-pick against the updated version.
+    const uint64_t ticket = reservations_.TryReserve(c);
+    if (ticket == 0) {
+      c->ReleaseInputs();
+      delete c;
+      background_work_finished_signal_.wait(mutex_);
+      continue;
+    }
     CompactionState* compact = new CompactionState(c);
     compact->smallest_snapshot = snapshots_.empty()
                                      ? versions_->LastSequence()
@@ -644,7 +685,12 @@ void DBImpl::TEST_CompactRange(int level, const Slice* begin,
     CleanupCompaction(compact);
     c->ReleaseInputs();
     delete c;
+    reservations_.Release(ticket);
+    pick_exhausted_ = false;
+    background_work_finished_signal_.notify_all();
+    background_wakeup_.notify_all();
     RemoveObsoleteFiles();
+    break;
   }
   mutex_.unlock();
 }
@@ -705,69 +751,102 @@ void DBImpl::MaybeScheduleCompaction() {
     RunInlineCompactions();
     return;
   }
-  if (background_compaction_scheduled_) {
-    // Already scheduled
-  } else if (shutting_down_.load(std::memory_order_acquire)) {
-    // DB is being deleted; no more background compactions
-  } else if (!bg_error_.ok()) {
-    // Already got an error; no more changes
-  } else if (imm_ == nullptr && !versions_->NeedsCompaction()) {
-    // No work to be done
-  } else {
-    background_compaction_scheduled_ = true;
-    if (!background_thread_started_) {
-      background_thread_started_ = true;
-      background_thread_ = std::thread(&DBImpl::BackgroundThreadMain, this);
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  if (!bg_error_.ok()) return;
+  if (imm_ == nullptr && !versions_->NeedsCompaction()) return;
+  pick_exhausted_ = false;  // state changed; picks are worth retrying
+  if (bg_threads_.empty()) {
+    const int n = options_.max_background_compactions;
+    bg_threads_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      bg_threads_.emplace_back(&DBImpl::BackgroundThreadMain, this);
     }
-    background_wakeup_.notify_one();
   }
+  background_wakeup_.notify_all();
 }
 
+// Worker loop shared by the executor pool. Flushes take priority and run
+// one at a time; compaction picks are guarded by the reservation map, so
+// workers holding disjoint reservations merge concurrently.
 void DBImpl::BackgroundThreadMain() {
   mutex_.lock();
+  int reserve_failures = 0;
   while (!shutting_down_.load(std::memory_order_acquire)) {
-    if (!background_compaction_scheduled_) {
+    if (!bg_error_.ok()) {
       background_wakeup_.wait(mutex_);
       continue;
     }
-    BackgroundCall();
+    if (imm_ != nullptr && !imm_flush_in_flight_) {
+      imm_flush_in_flight_ = true;
+      bg_active_++;
+      CompactMemTable();
+      bg_active_--;
+      imm_flush_in_flight_ = false;
+      reserve_failures = 0;
+      background_work_finished_signal_.notify_all();
+      background_wakeup_.notify_all();
+      continue;
+    }
+    if (!pick_exhausted_ && versions_->NeedsCompaction()) {
+      const uint64_t pick_start = NowMicros();
+      Compaction* c = versions_->PickCompaction(&reservations_);
+      const uint64_t ticket =
+          (c != nullptr) ? reservations_.TryReserve(c) : 0;
+      stats_.compaction_pick_micros += NowMicros() - pick_start;
+      if (c == nullptr) {
+        // Every candidate conflicts with a running compaction (or the
+        // trigger was stale). Cleared when state changes.
+        pick_exhausted_ = true;
+        background_work_finished_signal_.notify_all();
+        continue;
+      }
+      if (ticket == 0) {
+        // The expansion (overlap/grandparent growth) pulled in a conflict
+        // the victim-level skip could not see. The compact_pointer_ already
+        // rotated past this victim, so an immediate retry lands elsewhere;
+        // after a few failures wait for a running compaction to finish.
+        c->ReleaseInputs();
+        delete c;
+        if (++reserve_failures >= 8) {
+          reserve_failures = 0;
+          background_wakeup_.wait(mutex_);
+        }
+        continue;
+      }
+      reserve_failures = 0;
+      bg_active_++;
+      ExecuteCompaction(c);
+      reservations_.Release(ticket);
+      bg_active_--;
+      pick_exhausted_ = false;
+      background_work_finished_signal_.notify_all();
+      background_wakeup_.notify_all();
+      continue;
+    }
+    background_wakeup_.wait(mutex_);
   }
-  // Flush any spuriously pending flag so the destructor can proceed.
-  background_compaction_scheduled_ = false;
-  background_work_finished_signal_.notify_all();
   mutex_.unlock();
 }
 
-void DBImpl::BackgroundCall() {
-  assert(background_compaction_scheduled_);
-  if (shutting_down_.load(std::memory_order_acquire)) {
-    // No more background work when shutting down.
-  } else if (!bg_error_.ok()) {
-    // No more background work after a background error.
-  } else {
-    BackgroundCompaction();
-  }
-
-  background_compaction_scheduled_ = false;
-
-  // Previous compaction may have produced too many files in a level,
-  // so reschedule another compaction if needed.
-  MaybeScheduleCompaction();
-  background_work_finished_signal_.notify_all();
-}
-
+// Inline-mode work unit (also exercised by RunInlineCompactions); the
+// threaded executor drives ExecuteCompaction from BackgroundThreadMain.
 void DBImpl::BackgroundCompaction() {
   if (imm_ != nullptr) {
     CompactMemTable();
     return;
   }
 
+  const uint64_t pick_start = NowMicros();
   Compaction* c = versions_->PickCompaction();
+  stats_.compaction_pick_micros += NowMicros() - pick_start;
+  if (c != nullptr) {
+    ExecuteCompaction(c);
+  }
+}
 
+void DBImpl::ExecuteCompaction(Compaction* c) {
   Status status;
-  if (c == nullptr) {
-    // Nothing to do
-  } else if (c->IsTrivialMove()) {
+  if (c->IsTrivialMove()) {
     // Move file to next level
     assert(c->num_input_files(0) == 1);
     FileMetaData* f = c->input(0, 0);
@@ -932,6 +1011,13 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   assert(compact->builder == nullptr);
   assert(compact->outfile == nullptr);
 
+  compactions_in_flight_++;
+  if (static_cast<uint64_t>(compactions_in_flight_) >
+      stats_.max_parallel_compactions) {
+    stats_.max_parallel_compactions = compactions_in_flight_;
+  }
+  uint64_t read_micros = 0, merge_micros = 0, write_micros = 0;
+
   if (snapshots_.empty()) {
     compact->smallest_snapshot = versions_->LastSequence();
   } else {
@@ -979,7 +1065,9 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   // Release mutex while we're actually doing the compaction work
   mutex_.unlock();
 
+  uint64_t stage_start = NowMicros();
   input->SeekToFirst();
+  read_micros += NowMicros() - stage_start;
   Status status;
   ParsedInternalKey ikey;
   std::string current_user_key;
@@ -990,14 +1078,18 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
     if (has_imm_.load(std::memory_order_relaxed) &&
         !options_.inline_compactions) {
       mutex_.lock();
-      if (imm_ != nullptr) {
+      if (imm_ != nullptr && !imm_flush_in_flight_) {
+        imm_flush_in_flight_ = true;
         CompactMemTable();
+        imm_flush_in_flight_ = false;
         // Wake up MakeRoomForWrite() if necessary.
         background_work_finished_signal_.notify_all();
+        background_wakeup_.notify_all();
       }
       mutex_.unlock();
     }
 
+    stage_start = NowMicros();
     Slice key = input->key();
     if (compact->compaction->ShouldStopBefore(key) &&
         compact->builder != nullptr) {
@@ -1043,6 +1135,10 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       last_sequence_for_key = ikey.sequence;
     }
 
+    uint64_t now = NowMicros();
+    merge_micros += now - stage_start;
+    stage_start = now;
+
     if (!drop) {
       // Open output file if necessary
       if (compact->builder == nullptr) {
@@ -1067,14 +1163,19 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
       }
     }
 
+    now = NowMicros();
+    write_micros += now - stage_start;
     input->Next();
+    read_micros += NowMicros() - now;
   }
 
   if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
     status = Status::IOError("Deleting DB during compaction");
   }
   if (status.ok() && compact->builder != nullptr) {
+    stage_start = NowMicros();
     status = FinishCompactionOutputFile(compact, input);
+    write_micros += NowMicros() - stage_start;
   }
   if (status.ok()) {
     status = input->status();
@@ -1094,13 +1195,19 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   stats_.compaction_bytes_read += input_bytes;
   stats_.compaction_bytes_written += compact->total_bytes;
   stats_.compaction_device_seconds += device_delta.busy_seconds;
+  stats_.compaction_read_micros += read_micros;
+  stats_.compaction_merge_micros += merge_micros;
+  stats_.compaction_write_micros += write_micros;
 
   if (status.ok()) {
+    stage_start = NowMicros();
     status = InstallCompactionResults(compact);
+    stats_.compaction_install_micros += NowMicros() - stage_start;
   }
   if (!status.ok()) {
     RecordBackgroundError(status);
   }
+  compactions_in_flight_--;
 
   if (record_events_) {
     CompactionEvent ev;
@@ -1522,17 +1629,27 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         ok = false;
       }
     } else if (in == "stats") {
-      char buf[400];
-      std::snprintf(buf, sizeof(buf),
-                    "flushes: %llu, compactions: %llu\n"
-                    "user MB: %.1f, flush MB: %.1f, compact write MB: %.1f\n"
-                    "WA: %.2f, compaction device time: %.3f s\n",
-                    static_cast<unsigned long long>(stats_.num_flushes),
-                    static_cast<unsigned long long>(stats_.num_compactions),
-                    stats_.user_bytes_written / 1048576.0,
-                    stats_.flush_bytes_written / 1048576.0,
-                    stats_.compaction_bytes_written / 1048576.0, stats_.wa(),
-                    stats_.compaction_device_seconds);
+      char buf[700];
+      std::snprintf(
+          buf, sizeof(buf),
+          "flushes: %llu, compactions: %llu\n"
+          "user MB: %.1f, flush MB: %.1f, compact write MB: %.1f\n"
+          "WA: %.2f, compaction device time: %.3f s\n"
+          "compaction stage micros: pick %llu, read %llu, merge %llu, "
+          "write %llu, install %llu\n"
+          "max parallel compactions: %llu\n",
+          static_cast<unsigned long long>(stats_.num_flushes),
+          static_cast<unsigned long long>(stats_.num_compactions),
+          stats_.user_bytes_written / 1048576.0,
+          stats_.flush_bytes_written / 1048576.0,
+          stats_.compaction_bytes_written / 1048576.0, stats_.wa(),
+          stats_.compaction_device_seconds,
+          static_cast<unsigned long long>(stats_.compaction_pick_micros),
+          static_cast<unsigned long long>(stats_.compaction_read_micros),
+          static_cast<unsigned long long>(stats_.compaction_merge_micros),
+          static_cast<unsigned long long>(stats_.compaction_write_micros),
+          static_cast<unsigned long long>(stats_.compaction_install_micros),
+          static_cast<unsigned long long>(stats_.max_parallel_compactions));
       *value = buf;
       ok = true;
     } else if (in == "sstables") {
@@ -1570,9 +1687,12 @@ void DBImpl::WaitForIdle() {
   if (options_.inline_compactions) {
     RunInlineCompactions();
   } else {
+    // pick_exhausted_ breaks the NeedsCompaction() check when the trigger
+    // is stale (nothing is actually runnable); it is cleared whenever a
+    // flush or compaction installs new state.
     while (bg_error_.ok() &&
-           (imm_ != nullptr || background_compaction_scheduled_ ||
-            versions_->NeedsCompaction())) {
+           (imm_ != nullptr || bg_active_ > 0 ||
+            (!pick_exhausted_ && versions_->NeedsCompaction()))) {
       MaybeScheduleCompaction();
       background_work_finished_signal_.wait(mutex_);
     }

@@ -128,8 +128,10 @@ class DBImpl : public DB {
 
   void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void BackgroundThreadMain();
-  void BackgroundCall();
   void BackgroundCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
+  // Run one picked compaction (trivial move or full merge) and clean up.
+  // Takes ownership of c.
+  void ExecuteCompaction(Compaction* c) EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void CleanupCompaction(CompactionState* compact)
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   Status DoCompactionWork(CompactionState* compact)
@@ -150,6 +152,11 @@ class DBImpl : public DB {
   // Constant after construction
   const InternalKeyComparator internal_comparator_;
   const InternalFilterPolicy internal_filter_policy_;
+  // Default block cache owned by this DB (options_.block_cache points here
+  // when the caller supplied none and block_cache_bytes > 0). Declared
+  // before options_/table_cache_/versions_ so it outlives every Table that
+  // holds cached blocks.
+  std::unique_ptr<Cache> owned_block_cache_;
   const Options options_;  // options_.comparator == &internal_comparator_
   const std::string dbname_;
   fs::FileStore* const store_;
@@ -179,12 +186,20 @@ class DBImpl : public DB {
   // part of ongoing compactions.
   std::set<uint64_t> pending_outputs_;
 
-  // Background thread state (used when !options_.inline_compactions).
-  bool background_compaction_scheduled_;
-  std::thread background_thread_;
+  // Background executor (used when !options_.inline_compactions): a pool
+  // of options_.max_background_compactions workers shares one wakeup cv.
+  // Workers run flushes (one at a time) and compactions; compactions whose
+  // level spans and key-range hulls are disjoint run concurrently, with
+  // reservations_ serializing conflicting picks.
+  std::vector<std::thread> bg_threads_;
   std::condition_variable_any background_wakeup_;
-  bool background_thread_started_ = false;
+  int bg_active_ = 0;              // workers currently executing a work unit
+  int compactions_in_flight_ = 0;  // concurrent DoCompactionWork calls
+  bool imm_flush_in_flight_ = false;
+  bool pick_exhausted_ = false;    // last pick found nothing runnable
+  bool removing_obsolete_files_ = false;
   bool in_inline_compaction_ = false;
+  CompactionReservations reservations_;
 
   std::unique_ptr<VersionSet> versions_;
 

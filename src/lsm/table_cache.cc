@@ -62,11 +62,52 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   return s;
 }
 
+namespace {
+
+// Owns the private file + table behind a streaming (readahead) iterator;
+// these deliberately bypass the shared table cache so a one-pass compaction
+// scan neither evicts hot tables nor leaves its prefetch thread alive
+// longer than the iterator.
+struct StreamingTableState {
+  std::unique_ptr<fs::RandomAccessFile> file;
+  Table* table = nullptr;
+  ~StreamingTableState() { delete table; }
+};
+
+void DeleteStreamingTable(void* arg1, void* arg2) {
+  (void)arg2;
+  delete reinterpret_cast<StreamingTableState*>(arg1);
+}
+
+}  // namespace
+
 Iterator* TableCache::NewIterator(const ReadOptions& options,
                                   uint64_t file_number, uint64_t file_size,
                                   Table** tableptr) {
   if (tableptr != nullptr) {
     *tableptr = nullptr;
+  }
+
+  if (options.readahead_bytes > 0) {
+    // Streaming scan: open a dedicated double-buffered reader instead of
+    // the cached mmap-style handle, so the whole table is consumed in a
+    // few large sequential chunks with the next chunk prefetched.
+    std::string fname = TableFileName(dbname_, file_number);
+    auto state = std::make_unique<StreamingTableState>();
+    Status s = store_->NewReadaheadFile(fname, options.readahead_bytes,
+                                        &state->file);
+    if (s.ok()) {
+      s = Table::Open(options_, state->file.get(), file_size, &state->table);
+    }
+    if (!s.ok()) {
+      return NewErrorIterator(s);
+    }
+    Iterator* result = state->table->NewIterator(options);
+    result->RegisterCleanup(&DeleteStreamingTable, state.release(), nullptr);
+    if (tableptr != nullptr) {
+      // Not exposed: the table dies with the iterator.
+    }
+    return result;
   }
 
   Cache::Handle* handle = nullptr;

@@ -1235,6 +1235,16 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   ReadOptions options;
   options.verify_checksums = options_->paranoid_checks;
   options.fill_cache = false;
+  // Compaction inputs are consumed front-to-back exactly once; stream each
+  // file in large chunks and prefetch the next chunk while the merge decodes
+  // the previous one. A window of half the target file size (bounded to
+  // [256 KB, 4 MB]) keeps the double buffer at most one file-sized span.
+  if (options_->compaction_readahead) {
+    uint64_t window = options_->max_file_size / 2;
+    if (window < 256 * 1024) window = 256 * 1024;
+    if (window > 4 * 1024 * 1024) window = 4 * 1024 * 1024;
+    options.readahead_bytes = window;
+  }
 
   // Level-0 files (and files of an overlapping level) have to be merged
   // together; for other levels we can use a concatenating iterator that
@@ -1266,7 +1276,113 @@ Iterator* VersionSet::MakeInputIterator(Compaction* c) {
   return result;
 }
 
-Compaction* VersionSet::PickCompaction() {
+// ---------------------------------------------------------------------
+// CompactionReservations
+// ---------------------------------------------------------------------
+
+uint64_t CompactionReservations::TryReserve(const Compaction* c) {
+  assert(c->num_input_files(0) > 0);
+  std::vector<uint64_t> files;
+  Slice smallest, largest;
+  bool first = true;
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      const FileMetaData* f = c->input(which, i);
+      files.push_back(f->number);
+      const Slice lo = f->smallest.user_key();
+      const Slice hi = f->largest.user_key();
+      if (first || user_cmp_->Compare(lo, smallest) < 0) smallest = lo;
+      if (first || user_cmp_->Compare(hi, largest) > 0) largest = hi;
+      first = false;
+    }
+  }
+  return TryReserveRange(std::min(c->level(), c->output_level()),
+                         std::max(c->level(), c->output_level()), smallest,
+                         largest, files);
+}
+
+uint64_t CompactionReservations::TryReserveRange(
+    int min_level, int max_level, const Slice& smallest, const Slice& largest,
+    const std::vector<uint64_t>& files) {
+  if (Conflicts(min_level, max_level, smallest, largest, files)) {
+    return 0;
+  }
+  Reservation r;
+  r.ticket = next_ticket_++;
+  r.min_level = min_level;
+  r.max_level = max_level;
+  r.smallest = smallest.ToString();
+  r.largest = largest.ToString();
+  r.files = files;
+  reservations_.push_back(std::move(r));
+  return reservations_.back().ticket;
+}
+
+void CompactionReservations::Release(uint64_t ticket) {
+  for (size_t i = 0; i < reservations_.size(); i++) {
+    if (reservations_[i].ticket == ticket) {
+      reservations_.erase(reservations_.begin() + i);
+      return;
+    }
+  }
+  assert(false && "releasing unknown reservation ticket");
+}
+
+bool CompactionReservations::Conflicts(
+    int min_level, int max_level, const Slice& smallest, const Slice& largest,
+    const std::vector<uint64_t>& files) const {
+  for (const Reservation& r : reservations_) {
+    for (uint64_t number : files) {
+      for (uint64_t held : r.files) {
+        if (number == held) return true;
+      }
+    }
+    if (max_level < r.min_level || min_level > r.max_level) {
+      continue;  // disjoint level spans cannot interact
+    }
+    const bool range_disjoint =
+        user_cmp_->Compare(largest, Slice(r.smallest)) < 0 ||
+        user_cmp_->Compare(smallest, Slice(r.largest)) > 0;
+    if (!range_disjoint) return true;
+  }
+  return false;
+}
+
+bool CompactionReservations::RangeReserved(int level, const Slice& smallest,
+                                           const Slice& largest) const {
+  for (const Reservation& r : reservations_) {
+    if (level < r.min_level || level > r.max_level) continue;
+    if (user_cmp_->Compare(largest, Slice(r.smallest)) < 0 ||
+        user_cmp_->Compare(smallest, Slice(r.largest)) > 0) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool CompactionReservations::FileReserved(uint64_t number) const {
+  for (const Reservation& r : reservations_) {
+    for (uint64_t held : r.files) {
+      if (held == number) return true;
+    }
+  }
+  return false;
+}
+
+bool VersionSet::VictimReserved(const CompactionReservations* reserved,
+                                int level, const FileMetaData* f) const {
+  if (reserved == nullptr) return false;
+  if (reserved->FileReserved(f->number)) return true;
+  const Slice lo = f->smallest.user_key();
+  const Slice hi = f->largest.user_key();
+  if (reserved->RangeReserved(level, lo, hi)) return true;
+  const bool intra = level > 0 && current_->LevelIsOverlapping(level);
+  const int out_level = intra ? level : level + 1;
+  return out_level < NumLevels() && reserved->RangeReserved(out_level, lo, hi);
+}
+
+Compaction* VersionSet::PickCompaction(const CompactionReservations* reserved) {
   Compaction* c;
   int level;
 
@@ -1298,6 +1414,7 @@ Compaction* VersionSet::PickCompaction() {
       FileMetaData* best = nullptr;
       int best_invalid = options_->invalid_set_priority_threshold - 1;
       for (FileMetaData* f : current_->files_[level]) {
+        if (VictimReserved(reserved, level, f)) continue;
         const int invalid =
             f->set_id != 0 ? set_info_->InvalidCount(f->set_id) : 0;
         if (invalid > best_invalid) {
@@ -1311,9 +1428,13 @@ Compaction* VersionSet::PickCompaction() {
     }
 
     if (c->inputs_[0].empty() && !intra_level) {
-      // Pick the first file that comes after compact_pointer_[level]
+      // Pick the first unreserved file that comes after
+      // compact_pointer_[level], wrapping to the beginning of the key space.
+      // Reserved files (or files whose spans overlap a running compaction)
+      // are skipped so concurrent workers pick disjoint victims.
       for (size_t i = 0; i < current_->files_[level].size(); i++) {
         FileMetaData* f = current_->files_[level][i];
+        if (VictimReserved(reserved, level, f)) continue;
         if (compact_pointer_[level].empty() ||
             icmp_.Compare(f->largest.Encode(), compact_pointer_[level]) > 0) {
           c->inputs_[0].push_back(f);
@@ -1321,8 +1442,18 @@ Compaction* VersionSet::PickCompaction() {
         }
       }
       if (c->inputs_[0].empty()) {
-        // Wrap-around to the beginning of the key space
-        c->inputs_[0].push_back(current_->files_[level][0]);
+        for (size_t i = 0; i < current_->files_[level].size(); i++) {
+          FileMetaData* f = current_->files_[level][i];
+          if (VictimReserved(reserved, level, f)) continue;
+          c->inputs_[0].push_back(f);
+          break;
+        }
+      }
+      if (c->inputs_[0].empty()) {
+        // Every candidate at this level conflicts with a running
+        // compaction; the level will be revisited when one finishes.
+        delete c;
+        return nullptr;
       }
     }
   } else if (seek_compaction) {
@@ -1330,7 +1461,14 @@ Compaction* VersionSet::PickCompaction() {
     const bool intra_level =
         level > 0 && current_->LevelIsOverlapping(level);
     if (level + 1 >= NumLevels() && !intra_level) {
-      return nullptr;  // Nowhere to push the seek-compacted file
+      // Nowhere to push the seek-compacted file. Clear the trigger so
+      // NeedsCompaction() does not report pending work forever.
+      current_->file_to_compact_ = nullptr;
+      current_->file_to_compact_level_ = -1;
+      return nullptr;
+    }
+    if (VictimReserved(reserved, level, current_->file_to_compact_)) {
+      return nullptr;  // retried once the conflicting compaction finishes
     }
     c = new Compaction(options_, level, intra_level ? level : level + 1);
     c->inputs_[0].push_back(current_->file_to_compact_);

@@ -65,6 +65,61 @@ bool SomeFileOverlapsRange(const InternalKeyComparator& icmp,
                            const Slice* smallest_user_key,
                            const Slice* largest_user_key);
 
+// Conflict detector for the parallel compaction executor: a reservation map
+// of the (level span, user-key range, input files) claimed by each unit of
+// in-flight background work. Two units may run concurrently iff their level
+// spans are disjoint or their user-key ranges are disjoint, and they share
+// no input file — the set-disjointness argument of paper Sec. III-A turned
+// into a schedulability test. All calls are made under the owning DB's
+// mutex.
+class CompactionReservations {
+ public:
+  explicit CompactionReservations(const Comparator* user_cmp)
+      : user_cmp_(user_cmp) {}
+
+  // Claim the level span, key range, and input files of *c. Returns a
+  // nonzero ticket on success, 0 if the claim conflicts with an active
+  // reservation.
+  uint64_t TryReserve(const Compaction* c);
+
+  // Claim an explicit span (testing and non-compaction work).
+  uint64_t TryReserveRange(int min_level, int max_level, const Slice& smallest,
+                           const Slice& largest,
+                           const std::vector<uint64_t>& files);
+
+  // Release a previously granted ticket.
+  void Release(uint64_t ticket);
+
+  // True iff an active reservation touches `level` and its user-key range
+  // overlaps [smallest, largest]. Keeps memtable-flush placement away from
+  // levels an in-flight compaction will install outputs into.
+  bool RangeReserved(int level, const Slice& smallest,
+                     const Slice& largest) const;
+
+  // True iff the file number is an input of an active reservation.
+  bool FileReserved(uint64_t number) const;
+
+  size_t active() const { return reservations_.size(); }
+
+ private:
+  struct Reservation {
+    uint64_t ticket;
+    int min_level;
+    int max_level;
+    std::string smallest;  // user keys, inclusive hull
+    std::string largest;
+    std::vector<uint64_t> files;
+  };
+
+  bool Conflicts(int min_level, int max_level, const Slice& smallest,
+                 const Slice& largest,
+                 const std::vector<uint64_t>& files) const;
+
+  const Comparator* const user_cmp_;
+  uint64_t next_ticket_ = 1;
+  std::vector<Reservation> reservations_;
+};
+
 class Version {
  public:
   struct GetStats {
@@ -220,7 +275,10 @@ class VersionSet {
 
   // Pick level and inputs for a new compaction. Returns nullptr if no
   // compaction needs to be done; otherwise a heap-allocated Compaction.
-  Compaction* PickCompaction();
+  // When `reserved` is non-null, victims whose ranges or files are claimed
+  // by in-flight compactions are skipped, so concurrent executors pick
+  // disjoint work instead of colliding and retrying.
+  Compaction* PickCompaction(const CompactionReservations* reserved = nullptr);
 
   // Return a compaction object for compacting the range [begin,end] in
   // the specified level.  Returns nullptr if there is nothing in that
@@ -280,6 +338,11 @@ class VersionSet {
   // SMRDB mode: seed inputs[0] with a file from the deepest overlap
   // cluster at the given (overlapping) level.
   void PickOverlapCluster(int level, Compaction* c);
+
+  // True iff picking `f` as the level-`level` victim would collide with an
+  // active reservation (never true when reserved == nullptr).
+  bool VictimReserved(const CompactionReservations* reserved, int level,
+                      const FileMetaData* f) const;
 
   void GetRange(const std::vector<FileMetaData*>& inputs, InternalKey* smallest,
                 InternalKey* largest);

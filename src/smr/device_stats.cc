@@ -15,6 +15,7 @@ DeviceStats DeviceStats::operator-(const DeviceStats& o) const {
   r.rmw_ops = rmw_ops - o.rmw_ops;
   r.seeks = seeks - o.seeks;
   r.busy_seconds = busy_seconds - o.busy_seconds;
+  r.position_seconds = position_seconds - o.position_seconds;
   r.read_errors = read_errors - o.read_errors;
   r.write_errors = write_errors - o.write_errors;
   r.torn_writes = torn_writes - o.torn_writes;
@@ -28,13 +29,14 @@ std::string DeviceStats::ToString() const {
       buf, sizeof(buf),
       "logical: %.1f MB written, %.1f MB read; physical: %.1f MB written, "
       "%.1f MB read; ops: %llu writes, %llu reads, %llu RMW, %llu seeks; "
-      "busy: %.3f s; AWA: %.2f",
+      "busy: %.3f s (%.3f s positioning); AWA: %.2f",
       logical_bytes_written / 1048576.0, logical_bytes_read / 1048576.0,
       physical_bytes_written / 1048576.0, physical_bytes_read / 1048576.0,
       static_cast<unsigned long long>(write_ops),
       static_cast<unsigned long long>(read_ops),
       static_cast<unsigned long long>(rmw_ops),
-      static_cast<unsigned long long>(seeks), busy_seconds, awa());
+      static_cast<unsigned long long>(seeks), busy_seconds, position_seconds,
+      awa());
   std::string out = buf;
   if (read_errors != 0 || write_errors != 0 || torn_writes != 0 ||
       crashes != 0) {

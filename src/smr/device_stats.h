@@ -27,6 +27,9 @@ struct DeviceStats {
 
   // Simulated device busy time in seconds.
   double busy_seconds = 0.0;
+  // Portion of busy_seconds spent positioning the head (seek + rotational
+  // latency); busy_seconds - position_seconds is transfer + command time.
+  double position_seconds = 0.0;
 
   // Fault accounting (populated by FaultInjectionDrive; always zero on the
   // plain drive models).

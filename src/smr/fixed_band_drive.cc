@@ -40,6 +40,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
     }
     if (latency_.head_position() != offset) stats_.seeks++;
     stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
+    stats_.position_seconds += latency_.last_position_seconds();
     media_.Read(offset, n, scratch);
     stats_.read_ops++;
     stats_.logical_bytes_read += n;
@@ -150,6 +151,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
     stats_.seeks++;
     stats_.busy_seconds +=
         latency_.Access(start, open_salvage_, /*is_write=*/true);
+    stats_.position_seconds += latency_.last_position_seconds();
     stats_.physical_bytes_written += open_salvage_;
     write_pointers_[band] = std::max(write_pointers_[band], open_salvage_);
     open_band_ = -1;
@@ -187,6 +189,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
       if (latency_.head_position() != offset) stats_.seeks++;
       stats_.busy_seconds +=
           latency_.Access(offset, data.size(), /*is_write=*/true);
+      stats_.position_seconds += latency_.last_position_seconds();
       media_.Write(offset, data);
       media_.MarkValid(offset, data.size());
       stats_.physical_bytes_written += data.size();
@@ -200,6 +203,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
     stats_.seeks++;
     const uint64_t salvage = std::max(wp, end_rel);
     stats_.busy_seconds += latency_.Access(start, wp, /*is_write=*/false);
+    stats_.position_seconds += latency_.last_position_seconds();
     stats_.physical_bytes_read += wp;
     media_.Write(offset, data);
     media_.MarkValid(offset, data.size());

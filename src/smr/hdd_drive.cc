@@ -16,6 +16,7 @@ class HddDrive final : public Drive {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
     if (latency_.head_position() != offset) stats_.seeks++;
     stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
+    stats_.position_seconds += latency_.last_position_seconds();
     media_.Read(offset, n, scratch);
     stats_.read_ops++;
     stats_.logical_bytes_read += n;
@@ -33,6 +34,7 @@ class HddDrive final : public Drive {
       if (latency_.head_position() != offset) stats_.seeks++;
       stats_.busy_seconds +=
           latency_.Access(offset, data.size(), /*is_write=*/true);
+      stats_.position_seconds += latency_.last_position_seconds();
     }
     media_.Write(offset, data);
     media_.MarkValid(offset, data.size());

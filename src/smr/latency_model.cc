@@ -48,11 +48,13 @@ double LatencyModel::AccessCached(uint64_t nbytes, bool is_write) const {
 double LatencyModel::Access(uint64_t offset, uint64_t nbytes, bool is_write) {
   double t = params_.command_overhead_s;
 
+  last_position_s_ = 0.0;
   if (offset != head_pos_) {
     // Non-sequential: pay seek plus average (half-revolution) rotational
     // latency to reach the target sector.
     double position = SeekTime(head_pos_, offset) + params_.rotation_s / 2.0;
     if (is_write) position *= params_.write_position_factor;
+    last_position_s_ = position;
     t += position;
   }
 

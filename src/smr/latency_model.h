@@ -58,6 +58,11 @@ class LatencyModel {
   uint64_t head_position() const { return head_pos_; }
   void set_head_position(uint64_t pos) { head_pos_ = pos; }
 
+  // Positioning (seek + rotation) share of the most recent Access() call;
+  // 0 for sequential accesses and for AccessCached(). Lets drives split
+  // busy time into seek vs transfer components.
+  double last_position_seconds() const { return last_position_s_; }
+
   const LatencyParams& params() const { return params_; }
 
  private:
@@ -66,6 +71,7 @@ class LatencyModel {
   LatencyParams params_;
   uint64_t capacity_;
   uint64_t head_pos_ = 0;
+  double last_position_s_ = 0.0;
 };
 
 }  // namespace sealdb::smr

@@ -24,6 +24,7 @@ class ShingledDiskImpl final : public ShingledDisk {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
     if (latency_.head_position() != offset) stats_.seeks++;
     stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
+    stats_.position_seconds += latency_.last_position_seconds();
     media_.Read(offset, n, scratch);
     stats_.read_ops++;
     stats_.logical_bytes_read += n;
@@ -86,6 +87,7 @@ class ShingledDiskImpl final : public ShingledDisk {
     } else {
       if (latency_.head_position() != offset) stats_.seeks++;
       stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/true);
+      stats_.position_seconds += latency_.last_position_seconds();
     }
     media_.Write(offset, data);
     const uint64_t already_valid = media_.CountValidBytes(offset, n);

@@ -46,6 +46,10 @@ struct Options {
   const FilterPolicy* filter_policy = nullptr;
   // If non-null, use as block cache.
   Cache* block_cache = nullptr;
+  // When block_cache is null and this is nonzero, the DB creates (and owns)
+  // a shared LRU block cache of this many bytes for its read path. Zero
+  // disables block caching entirely (cache-sensitivity benches).
+  size_t block_cache_bytes = 8 * 1024 * 1024;
 
   // -------- LSM shape --------
   int num_levels = 7;
@@ -85,12 +89,28 @@ struct Options {
   // tests and benches) instead of a background thread.
   bool inline_compactions = true;
 
+  // Number of worker threads executing background compactions when
+  // inline_compactions is false. Compactions whose key ranges and levels do
+  // not overlap (disjoint sets at a level, paper Sec. III-A) run
+  // concurrently; conflicting picks are serialized by a reservation map.
+  int max_background_compactions = 1;
+
+  // Stream compaction inputs through a double-buffered readahead reader
+  // (large chunked extent reads with the next chunk prefetched during the
+  // merge) instead of per-block table reads. Off reproduces the seed's
+  // read pattern for A/B benches.
+  bool compaction_readahead = true;
+
   Options();
 };
 
 struct ReadOptions {
   bool verify_checksums = false;
   bool fill_cache = true;
+  // Nonzero requests a dedicated streaming reader that fetches the file in
+  // chunks of this size and prefetches the next chunk while the previous
+  // one is consumed (set-granularity compaction input scans).
+  uint64_t readahead_bytes = 0;
   // If non-null, read as of the supplied snapshot.
   const Snapshot* snapshot = nullptr;
 };
