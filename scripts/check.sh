@@ -1,41 +1,77 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build and run the full test suite in the default
 # configuration and under ThreadSanitizer. The TSan pass exists for the
-# parallel compaction executor — the `stress` label marks the tests that
-# exercise concurrent compactions hardest, and `-L stress` re-runs them
-# a few extra times under TSan to shake out schedule-dependent races.
+# parallel compaction executor and the network server — the `stress`
+# label marks the tests that exercise concurrency hardest, and
+# `-L stress` re-runs them a few extra times under TSan to shake out
+# schedule-dependent races.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast   TSan config runs only the stress-labelled tests instead of
-#            the full suite (the full default-config suite always runs).
+# Usage: scripts/check.sh [--fast] [--filter <regex>]
+#   --fast            TSan config runs only the stress-labelled tests
+#                     instead of the full suite (the full default-config
+#                     suite always runs).
+#   --filter <regex>  only run ctest tests matching <regex> (passed as
+#                     ctest -R) in both configurations; the stress-repeat
+#                     pass is scoped to the same regex.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FAST=0
-for arg in "$@"; do
-  case "$arg" in
+FILTER=""
+while [ $# -gt 0 ]; do
+  case "$1" in
     --fast) FAST=1 ;;
-    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    --filter)
+      if [ $# -lt 2 ]; then
+        echo "check.sh: --filter requires a regex argument" >&2
+        exit 2
+      fi
+      FILTER="$2"
+      shift
+      ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
+  shift
 done
 
+# Fail fast with a clear message when the toolchain is missing — a bare
+# "cmake: command not found" halfway through is needlessly confusing.
+for tool in cmake; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "check.sh: '$tool' not found on PATH — install it first" >&2
+    echo "          (e.g. apt-get install cmake build-essential)" >&2
+    exit 1
+  fi
+done
+if ! command -v c++ >/dev/null 2>&1 && ! command -v g++ >/dev/null 2>&1 \
+    && ! command -v clang++ >/dev/null 2>&1; then
+  echo "check.sh: no C++ compiler (c++/g++/clang++) found on PATH" >&2
+  echo "          (e.g. apt-get install g++)" >&2
+  exit 1
+fi
+
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+CTEST_ARGS=(--output-on-failure)
+if [ -n "$FILTER" ]; then
+  CTEST_ARGS+=(-R "$FILTER")
+fi
 
 echo "== default configuration =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ctest --test-dir build "${CTEST_ARGS[@]}" -j "$JOBS"
 
 echo
 echo "== thread sanitizer configuration =="
 cmake -B build-tsan -S . -DSEALDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 if [ "$FAST" = 1 ]; then
-  ctest --test-dir build-tsan --output-on-failure -L stress --repeat until-fail:3
+  ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -L stress --repeat until-fail:3
 else
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
-  ctest --test-dir build-tsan --output-on-failure -L stress --repeat until-fail:3
+  ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -j "$JOBS"
+  ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -L stress --repeat until-fail:3
 fi
 
 echo

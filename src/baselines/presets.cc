@@ -52,6 +52,10 @@ smr::Geometry MakeGeometry(const StackConfig& config) {
 
 Options MakeOptions(const StackConfig& config, const FilterPolicy* filter) {
   Options opt;
+  // Always allocate the external-memory counter so a serving layer built
+  // on top of the stack (src/server) can account its connection buffers
+  // into "sealdb.approximate-memory-usage" without reopening the DB.
+  opt.external_memory_bytes = std::make_shared<std::atomic<uint64_t>>(0);
   opt.write_buffer_size = config.write_buffer_bytes;
   opt.max_file_size = config.sstable_bytes;
   opt.filter_policy = filter;

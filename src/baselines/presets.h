@@ -104,6 +104,13 @@ class Stack {
   const Options& options() const { return options_; }
   const StackConfig& config() const { return config_; }
 
+  // Process-external memory counter folded into the DB's
+  // "sealdb.approximate-memory-usage" property; the network server keeps
+  // its per-connection buffer bytes here.
+  const std::shared_ptr<std::atomic<uint64_t>>& external_memory_bytes() const {
+    return options_.external_memory_bytes;
+  }
+
   // Routed through the FileStore so the snapshot is taken under its mutex
   // (background compaction workers touch the drive concurrently).
   smr::DeviceStats device_stats() const { return store_->device_stats(); }

@@ -1671,6 +1671,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       if (imm_) {
         total_usage += imm_->ApproximateMemoryUsage();
       }
+      if (options_.external_memory_bytes != nullptr) {
+        total_usage += options_.external_memory_bytes->load(
+            std::memory_order_relaxed);
+      }
       char buf[50];
       std::snprintf(buf, sizeof(buf), "%llu",
                     static_cast<unsigned long long>(total_usage));

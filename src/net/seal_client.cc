@@ -1,0 +1,307 @@
+#include "net/seal_client.h"
+
+#include <unordered_map>
+
+#include "lsm/write_batch.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/coding.h"
+
+namespace sealdb::net {
+
+SealClient::~SealClient() { Close(); }
+
+Status SealClient::Connect(const std::string& host, uint16_t port,
+                           int recv_timeout_millis) {
+  Close();
+  Status s = ConnectTcp(host, port, &fd_);
+  if (!s.ok()) return s;
+  if (recv_timeout_millis > 0) {
+    s = SetRecvTimeout(fd_, recv_timeout_millis);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+void SealClient::Close() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  send_buf_.clear();
+  pending_.clear();
+}
+
+Status SealClient::SendFrame(uint8_t opcode, uint64_t request_id,
+                             const Slice& payload) {
+  std::string frame;
+  EncodeFrame(&frame, opcode, request_id, payload);
+  return WriteFully(fd_, frame.data(), frame.size());
+}
+
+Status SealClient::ReadFrame(uint8_t* opcode, uint64_t* request_id,
+                             std::string* storage, Slice* payload) {
+  char header[kFrameHeaderBytes];
+  Status s = ReadFully(fd_, header, sizeof(header));
+  if (!s.ok()) return s;
+  // Reassemble header + payload and run it through the shared decoder so
+  // client and server enforce identical framing rules (magic, version,
+  // crc).
+  storage->assign(header, sizeof(header));
+  FrameHeader parsed;
+  {
+    // Validate the header (magic, version, size cap) before trusting the
+    // length field; a header-only input can already fail those checks.
+    Slice probe(*storage);
+    DecodeResult r = DecodeFrame(&probe, &parsed, payload);
+    if (r != DecodeResult::kNeedMore && r != DecodeResult::kOk) {
+      return Status::Corruption("malformed response frame header");
+    }
+  }
+  const size_t payload_len =
+      static_cast<size_t>(DecodeFixed32(storage->data() + 12));
+  storage->resize(kFrameHeaderBytes + payload_len);
+  if (payload_len > 0) {
+    s = ReadFully(fd_, storage->data() + kFrameHeaderBytes, payload_len);
+    if (!s.ok()) return s;
+  }
+  Slice input(*storage);
+  DecodeResult r = DecodeFrame(&input, &parsed, payload);
+  switch (r) {
+    case DecodeResult::kOk:
+      break;
+    case DecodeResult::kBadCrc:
+      return Status::Corruption("response frame checksum mismatch");
+    default:
+      return Status::Corruption("malformed response frame");
+  }
+  *opcode = parsed.opcode;
+  *request_id = parsed.request_id;
+  return Status::OK();
+}
+
+Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
+                             std::string* response_storage,
+                             Slice* response_payload) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  if (!pending_.empty()) {
+    return Status::InvalidArgument(
+        "pipelined requests pending; call Flush() first");
+  }
+  const uint64_t id = next_request_id_++;
+  Status s = SendFrame(opcode, id, request_payload);
+  if (!s.ok()) return s;
+  uint8_t resp_opcode = 0;
+  uint64_t resp_id = 0;
+  s = ReadFrame(&resp_opcode, &resp_id, response_storage, response_payload);
+  if (!s.ok()) return s;
+  if (resp_opcode == (kOpError | kResponseBit)) {
+    Status err;
+    Slice in = *response_payload;
+    if (DecodeStatusRecord(&in, &err) && !err.ok()) return err;
+    return Status::Corruption("server reported a protocol error");
+  }
+  if (resp_id != id || resp_opcode != (opcode | kResponseBit)) {
+    return Status::Corruption("response does not match request");
+  }
+  return Status::OK();
+}
+
+Status SealClient::Ping() {
+  std::string storage;
+  Slice payload;
+  Status s = RoundTrip(static_cast<uint8_t>(Op::kPing), Slice(), &storage,
+                       &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeStatusRecord(&payload, &remote)) {
+    return Status::Corruption("malformed PING response");
+  }
+  return remote;
+}
+
+Status SealClient::Put(const Slice& key, const Slice& value) {
+  std::string req;
+  EncodePutRequest(&req, key, value);
+  std::string storage;
+  Slice payload;
+  Status s =
+      RoundTrip(static_cast<uint8_t>(Op::kPut), req, &storage, &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeStatusRecord(&payload, &remote)) {
+    return Status::Corruption("malformed PUT response");
+  }
+  return remote;
+}
+
+Status SealClient::Get(const Slice& key, std::string* value) {
+  std::string req;
+  EncodeKeyRequest(&req, key);
+  std::string storage;
+  Slice payload;
+  Status s =
+      RoundTrip(static_cast<uint8_t>(Op::kGet), req, &storage, &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeGetResponse(payload, &remote, value)) {
+    return Status::Corruption("malformed GET response");
+  }
+  return remote;
+}
+
+Status SealClient::Delete(const Slice& key) {
+  std::string req;
+  EncodeKeyRequest(&req, key);
+  std::string storage;
+  Slice payload;
+  Status s =
+      RoundTrip(static_cast<uint8_t>(Op::kDelete), req, &storage, &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeStatusRecord(&payload, &remote)) {
+    return Status::Corruption("malformed DELETE response");
+  }
+  return remote;
+}
+
+Status SealClient::Write(const WriteBatch& batch) {
+  std::string req;
+  EncodeWriteBatchRequest(&req, batch);
+  std::string storage;
+  Slice payload;
+  Status s = RoundTrip(static_cast<uint8_t>(Op::kWriteBatch), req, &storage,
+                       &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeStatusRecord(&payload, &remote)) {
+    return Status::Corruption("malformed WRITE_BATCH response");
+  }
+  return remote;
+}
+
+Status SealClient::Scan(
+    const Slice& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  std::string req;
+  EncodeScanRequest(&req, start, static_cast<uint32_t>(limit));
+  std::string storage;
+  Slice payload;
+  Status s =
+      RoundTrip(static_cast<uint8_t>(Op::kScan), req, &storage, &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeScanResponse(payload, &remote, out)) {
+    return Status::Corruption("malformed SCAN response");
+  }
+  return remote;
+}
+
+Status SealClient::Stats(std::string* text) {
+  std::string storage;
+  Slice payload;
+  Status s = RoundTrip(static_cast<uint8_t>(Op::kStats), Slice(), &storage,
+                       &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  if (!DecodeStatsResponse(payload, &remote, text)) {
+    return Status::Corruption("malformed STATS response");
+  }
+  return remote;
+}
+
+uint64_t SealClient::QueuePut(const Slice& key, const Slice& value) {
+  const uint64_t id = next_request_id_++;
+  std::string req;
+  EncodePutRequest(&req, key, value);
+  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kPut), id, req);
+  pending_.push_back({id, static_cast<uint8_t>(Op::kPut)});
+  return id;
+}
+
+uint64_t SealClient::QueueDelete(const Slice& key) {
+  const uint64_t id = next_request_id_++;
+  std::string req;
+  EncodeKeyRequest(&req, key);
+  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kDelete), id, req);
+  pending_.push_back({id, static_cast<uint8_t>(Op::kDelete)});
+  return id;
+}
+
+uint64_t SealClient::QueueGet(const Slice& key) {
+  const uint64_t id = next_request_id_++;
+  std::string req;
+  EncodeKeyRequest(&req, key);
+  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kGet), id, req);
+  pending_.push_back({id, static_cast<uint8_t>(Op::kGet)});
+  return id;
+}
+
+Status SealClient::Flush(std::vector<Result>* results) {
+  results->clear();
+  if (fd_ < 0) return Status::IOError("not connected");
+  if (pending_.empty()) return Status::OK();
+
+  Status s = WriteFully(fd_, send_buf_.data(), send_buf_.size());
+  send_buf_.clear();
+  if (!s.ok()) {
+    pending_.clear();
+    return s;
+  }
+
+  // The server's workers may complete requests out of order; collect by
+  // request id, then emit in queue order.
+  std::unordered_map<uint64_t, Result> by_id;
+  by_id.reserve(pending_.size());
+  for (size_t answered = 0; answered < pending_.size();) {
+    uint8_t opcode = 0;
+    uint64_t id = 0;
+    std::string storage;
+    Slice payload;
+    s = ReadFrame(&opcode, &id, &storage, &payload);
+    if (!s.ok()) {
+      pending_.clear();
+      return s;
+    }
+    if (opcode == (kOpError | kResponseBit)) {
+      Status err;
+      Slice in = payload;
+      pending_.clear();
+      if (DecodeStatusRecord(&in, &err) && !err.ok()) return err;
+      return Status::Corruption("server reported a protocol error");
+    }
+    Result r;
+    r.request_id = id;
+    r.opcode = opcode & ~kResponseBit;
+    if (r.opcode == static_cast<uint8_t>(Op::kGet)) {
+      if (!DecodeGetResponse(payload, &r.status, &r.value)) {
+        pending_.clear();
+        return Status::Corruption("malformed GET response");
+      }
+    } else {
+      Slice in = payload;
+      if (!DecodeStatusRecord(&in, &r.status)) {
+        pending_.clear();
+        return Status::Corruption("malformed response payload");
+      }
+    }
+    if (by_id.emplace(id, std::move(r)).second) answered++;
+  }
+
+  results->reserve(pending_.size());
+  for (const Pending& p : pending_) {
+    auto it = by_id.find(p.request_id);
+    if (it == by_id.end()) {
+      pending_.clear();
+      return Status::Corruption("response for unknown request id");
+    }
+    results->push_back(std::move(it->second));
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
+}  // namespace sealdb::net

@@ -1,0 +1,93 @@
+// SealClient: the client half of the SEALDB wire protocol (net/wire.h).
+//
+// Two APIs over one blocking socket:
+//   - sync: Put/Get/Delete/Write/Scan/Stats/Ping, one round trip each;
+//   - pipelined: Queue* stages frames locally, Flush() sends them in one
+//     burst and collects every response (the server may answer out of
+//     order across its worker pool; responses are matched by request id
+//     and returned in queue order).
+//
+// A SealClient is NOT thread-safe; use one per thread (the server side is
+// built for many concurrent connections).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sealdb {
+class WriteBatch;
+}
+
+namespace sealdb::net {
+
+class SealClient {
+ public:
+  SealClient() = default;
+  ~SealClient();
+
+  SealClient(const SealClient&) = delete;
+  SealClient& operator=(const SealClient&) = delete;
+
+  // `recv_timeout_millis` bounds every blocking receive so a dead server
+  // surfaces as IOError instead of a hang; 0 blocks forever.
+  Status Connect(const std::string& host, uint16_t port,
+                 int recv_timeout_millis = 30000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- sync API ----
+  Status Ping();
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  Status Write(const WriteBatch& batch);
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+  Status Stats(std::string* text);
+
+  // ---- pipelined API ----
+  struct Result {
+    uint64_t request_id = 0;
+    uint8_t opcode = 0;       // request opcode
+    Status status;            // per-request outcome
+    std::string value;        // GET only
+  };
+
+  // Stage a request; returns its id. Nothing is sent until Flush().
+  uint64_t QueuePut(const Slice& key, const Slice& value);
+  uint64_t QueueDelete(const Slice& key);
+  uint64_t QueueGet(const Slice& key);
+
+  // Send every staged frame, then read responses until all are answered.
+  // Results come back in queue order regardless of server-side completion
+  // order. Returns non-OK only on transport/protocol failure — per-request
+  // engine errors land in each Result::status.
+  Status Flush(std::vector<Result>* results);
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    uint64_t request_id;
+    uint8_t opcode;
+  };
+
+  Status SendFrame(uint8_t opcode, uint64_t request_id, const Slice& payload);
+  // Read exactly one frame; *payload is backed by *storage.
+  Status ReadFrame(uint8_t* opcode, uint64_t* request_id,
+                   std::string* storage, Slice* payload);
+  // One sync round trip; fails if pipelined requests are pending.
+  Status RoundTrip(uint8_t opcode, const Slice& request_payload,
+                   std::string* response_storage, Slice* response_payload);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string send_buf_;           // staged pipelined frames
+  std::vector<Pending> pending_;   // queue order
+};
+
+}  // namespace sealdb::net

@@ -1,0 +1,145 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sealdb::net {
+
+namespace {
+
+Status ErrnoStatus(const char* op) {
+  return Status::IOError(op, std::strerror(errno));
+}
+
+Status ParseAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address", host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ListenTcp(const std::string& host, uint16_t port, int backlog,
+                 int* listen_fd, uint16_t* bound_port) {
+  sockaddr_in addr;
+  Status s = ParseAddr(host, port, &addr);
+  if (!s.ok()) return s;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = ErrnoStatus("bind");
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status st = ErrnoStatus("listen");
+    CloseFd(fd);
+    return st;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      Status st = ErrnoStatus("getsockname");
+      CloseFd(fd);
+      return st;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  *listen_fd = fd;
+  return Status::OK();
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
+  sockaddr_in addr;
+  Status s = ParseAddr(host, port, &addr);
+  if (!s.ok()) return s;
+
+  int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock < 0) return ErrnoStatus("socket");
+  if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = ErrnoStatus("connect");
+    CloseFd(sock);
+    return st;
+  }
+  (void)SetNoDelay(sock);
+  *fd = sock;
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status SetRecvTimeout(int fd, int millis) {
+  timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadFully(int fd, char* scratch, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::read(fd, scratch, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("read timed out");
+      }
+      return ErrnoStatus("read");
+    }
+    if (r == 0) return Status::IOError("connection closed by peer");
+    scratch += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace sealdb::net

@@ -1,0 +1,33 @@
+// Thin POSIX TCP helpers shared by the server (non-blocking, epoll-driven)
+// and the client (blocking with timeouts). All functions return Status and
+// never throw; fds are plain ints owned by the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace sealdb::net {
+
+// Create a listening socket bound to host:port (SO_REUSEADDR). port 0
+// binds an ephemeral port; *bound_port reports the actual one.
+Status ListenTcp(const std::string& host, uint16_t port, int backlog,
+                 int* listen_fd, uint16_t* bound_port);
+
+// Blocking connect; enables TCP_NODELAY.
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+// 0 disables the timeout (block forever).
+Status SetRecvTimeout(int fd, int millis);
+
+// Blocking full-buffer I/O for the client side. ReadFully fails with
+// IOError on EOF or timeout before `n` bytes arrive.
+Status WriteFully(int fd, const char* data, size_t n);
+Status ReadFully(int fd, char* scratch, size_t n);
+
+void CloseFd(int fd);
+
+}  // namespace sealdb::net

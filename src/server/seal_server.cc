@@ -1,0 +1,848 @@
+#include "server/seal_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/presets.h"
+#include "lsm/db.h"
+#include "lsm/iterator.h"
+#include "lsm/write_batch.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace sealdb::server {
+
+namespace {
+
+// Per-connection state. The read buffer and epoll bookkeeping are touched
+// only by the event-loop thread; the write buffer is shared between the
+// workers (append) and the loop (flush) under `mu`.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+
+  const int fd;
+
+  // ---- loop-thread-only state ----
+  std::string rbuf;
+  bool reading = true;       // EPOLLIN registered
+  bool want_write = false;   // EPOLLOUT registered
+  bool peer_closed = false;  // read() saw EOF (or a write failed)
+
+  // ---- shared state (guarded by mu unless atomic) ----
+  std::mutex mu;
+  std::string wbuf;   // pending response bytes
+  size_t woff = 0;    // flushed prefix of wbuf
+  bool close_after_flush = false;  // protocol error: flush, then close
+  bool closed = false;             // fd closed; late responses are dropped
+  // Requests dispatched to the workers but not yet answered. Decremented
+  // inside Respond() under `mu`, so "inflight == 0 and wbuf empty" can
+  // never be observed between an op finishing and its response landing.
+  std::atomic<uint32_t> inflight{0};
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+struct Request {
+  ConnPtr conn;
+  uint8_t opcode = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+}  // namespace
+
+struct SealServer::Impl {
+  Impl(DB* db, baselines::Stack* stack, const ServerOptions& options)
+      : db_(db), stack_(stack), opts_(options) {
+    if (stack_ != nullptr) external_memory_ = stack_->external_memory_bytes();
+  }
+
+  ~Impl() { StopImpl(); }
+
+  // ---- configuration / collaborators ----
+  DB* const db_;
+  baselines::Stack* const stack_;
+  const ServerOptions opts_;
+  std::shared_ptr<std::atomic<uint64_t>> external_memory_;
+
+  // ---- sockets / loop ----
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::unordered_map<int, ConnPtr> conns_;  // loop thread only
+
+  // Connections with freshly appended responses, waiting for a flush.
+  std::mutex pending_mu_;
+  std::vector<ConnPtr> pending_flush_;
+
+  // ---- request queues ----
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Request> read_tasks_;
+  std::deque<Request> write_tasks_;
+  bool write_leader_active_ = false;
+  int executing_ = 0;
+  bool workers_exit_ = false;
+
+  // ---- lifecycle ----
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  // Loop acknowledged stopping_: reads are off and every already-received
+  // complete frame has been dispatched. Guarded by queue_mu_.
+  bool reads_quiesced_ = false;
+  std::atomic<bool> flush_and_exit_{false};
+  std::mutex stop_mu_;  // serializes Stop() callers
+  bool stopped_ = false;
+
+  // ---- accounting ----
+  std::atomic<uint64_t> buffer_bytes_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> gets_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> write_groups_{0};
+  std::atomic<uint64_t> batched_writes_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+
+  void AdjustBuffered(int64_t delta) {
+    buffer_bytes_.fetch_add(static_cast<uint64_t>(delta),
+                            std::memory_order_relaxed);
+    if (external_memory_ != nullptr) {
+      external_memory_->fetch_add(static_cast<uint64_t>(delta),
+                                  std::memory_order_relaxed);
+    }
+  }
+
+  // ---------------------------------------------------------------- start
+
+  Status Start() {
+    Status s = net::ListenTcp(opts_.host, opts_.port, /*backlog=*/128,
+                              &listen_fd_, &port_);
+    if (!s.ok()) return s;
+    s = net::SetNonBlocking(listen_fd_);
+    if (s.ok()) {
+      epoll_fd_ = ::epoll_create1(0);
+      wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+      if (epoll_fd_ < 0 || wake_fd_ < 0) {
+        s = Status::IOError("epoll/eventfd setup", std::strerror(errno));
+      }
+    }
+    if (!s.ok()) {
+      net::CloseFd(listen_fd_);
+      net::CloseFd(epoll_fd_);
+      net::CloseFd(wake_fd_);
+      listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+      return s;
+    }
+    EpollAdd(listen_fd_, EPOLLIN);
+    EpollAdd(wake_fd_, EPOLLIN);
+
+    started_.store(true);
+    loop_thread_ = std::thread([this] { LoopMain(); });
+    const int n = opts_.num_workers > 0 ? opts_.num_workers : 1;
+    workers_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      workers_.emplace_back([this] { WorkerMain(); });
+    }
+    return Status::OK();
+  }
+
+  void EpollAdd(int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void EpollMod(int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    (void)n;
+  }
+
+  // ----------------------------------------------------------- event loop
+
+  void LoopMain() {
+    bool reads_disabled = false;
+    bool deadline_armed = false;
+    std::chrono::steady_clock::time_point force_close_at;
+
+    epoll_event events[64];
+    for (;;) {
+      const int timeout =
+          flush_and_exit_.load(std::memory_order_acquire) ? 50 : -1;
+      int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+
+      if (stopping_.load(std::memory_order_acquire) && !reads_disabled) {
+        QuiesceReads();
+        reads_disabled = true;
+      }
+
+      for (int i = 0; i < n; i++) {
+        const int fd = events[i].data.fd;
+        const uint32_t ev = events[i].events;
+        if (fd == wake_fd_) {
+          uint64_t junk;
+          while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+          }
+          FlushPending();
+        } else if (fd == listen_fd_) {
+          if (!reads_disabled) AcceptNew();
+        } else {
+          auto it = conns_.find(fd);
+          if (it == conns_.end()) continue;
+          ConnPtr conn = it->second;
+          if (ev & (EPOLLHUP | EPOLLERR)) {
+            conn->peer_closed = true;
+            TryFlush(conn);
+            MaybeClose(conn);
+            continue;
+          }
+          if ((ev & EPOLLIN) && conn->reading && !reads_disabled) {
+            ReadAndDispatch(conn);
+          }
+          if (ev & EPOLLOUT) TryFlush(conn);
+          MaybeClose(conn);
+        }
+      }
+
+      if (flush_and_exit_.load(std::memory_order_acquire)) {
+        if (!deadline_armed) {
+          deadline_armed = true;
+          force_close_at =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(opts_.drain_deadline_millis);
+        }
+        // Flush what is left; exit once every buffer is empty or the drain
+        // deadline passes (a peer that stopped reading its responses).
+        bool all_drained = true;
+        std::vector<ConnPtr> snapshot;
+        snapshot.reserve(conns_.size());
+        for (auto& [cfd, conn] : conns_) snapshot.push_back(conn);
+        for (auto& conn : snapshot) {
+          TryFlush(conn);
+          MaybeClose(conn);
+        }
+        for (auto& [cfd, conn] : conns_) {
+          std::lock_guard<std::mutex> l(conn->mu);
+          if (!conn->closed && conn->woff < conn->wbuf.size()) {
+            all_drained = false;
+          }
+        }
+        if (all_drained ||
+            std::chrono::steady_clock::now() >= force_close_at) {
+          break;
+        }
+      }
+    }
+
+    // Tear down every remaining connection.
+    std::vector<ConnPtr> remaining;
+    remaining.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+    for (auto& conn : remaining) CloseConn(conn);
+    conns_.clear();
+    if (listen_fd_ >= 0) {
+      net::CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  // Graceful shutdown step 1 (loop thread): stop accepting, dispatch any
+  // complete frames already buffered, stop reading, and tell Stop() the
+  // request stream is now complete.
+  void QuiesceReads() {
+    if (listen_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      net::CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::vector<ConnPtr> snapshot;
+    snapshot.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) snapshot.push_back(conn);
+    for (auto& conn : snapshot) {
+      ParseFrames(conn);
+      if (conn->reading) {
+        conn->reading = false;
+        EpollMod(conn->fd, conn->want_write ? EPOLLOUT : 0u);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> l(queue_mu_);
+      reads_quiesced_ = true;
+    }
+    drain_cv_.notify_all();
+  }
+
+  void AcceptNew() {
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN or transient error; epoll will retry
+      (void)net::SetNonBlocking(fd);
+      (void)net::SetNoDelay(fd);
+      auto conn = std::make_shared<Connection>(fd);
+      conns_.emplace(fd, conn);
+      EpollAdd(fd, EPOLLIN);
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      connections_active_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void ReadAndDispatch(const ConnPtr& conn) {
+    char scratch[64 * 1024];
+    for (;;) {
+      ssize_t r = ::recv(conn->fd, scratch, sizeof(scratch), 0);
+      if (r > 0) {
+        conn->rbuf.append(scratch, static_cast<size_t>(r));
+        AdjustBuffered(r);
+        bytes_in_.fetch_add(static_cast<uint64_t>(r),
+                            std::memory_order_relaxed);
+        if (static_cast<size_t>(r) < sizeof(scratch)) break;
+        continue;
+      }
+      if (r == 0) {
+        conn->peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->peer_closed = true;
+      break;
+    }
+    ParseFrames(conn);
+  }
+
+  void ParseFrames(const ConnPtr& conn) {
+    Slice input(conn->rbuf);
+    bool fatal = false;
+    while (!fatal) {
+      net::FrameHeader header;
+      Slice payload;
+      const net::DecodeResult res =
+          net::DecodeFrame(&input, &header, &payload, opts_.max_frame_bytes);
+      if (res == net::DecodeResult::kNeedMore) break;
+      if (res == net::DecodeResult::kOk) {
+        Dispatch(conn, header, payload);
+        continue;
+      }
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      fatal = true;
+      if (res == net::DecodeResult::kBadMagic) {
+        // Not our protocol; nothing sensible to answer on this stream.
+        conn->peer_closed = true;
+        break;
+      }
+      const char* what = res == net::DecodeResult::kBadVersion
+                             ? "unsupported protocol version"
+                         : res == net::DecodeResult::kBadCrc
+                             ? "frame checksum mismatch"
+                             : "frame exceeds size limit";
+      std::string payload_out;
+      net::EncodeStatusRecord(&payload_out, Status::Corruption(what));
+      Respond(conn, net::kOpError | net::kResponseBit, header.request_id,
+              payload_out, /*close_after=*/true);
+    }
+    // Drop the consumed prefix (on a fatal error, everything: the stream
+    // cannot be re-synchronized).
+    const size_t remaining = fatal ? 0 : input.size();
+    const size_t consumed = conn->rbuf.size() - remaining;
+    if (consumed > 0) {
+      conn->rbuf.erase(0, consumed);
+      AdjustBuffered(-static_cast<int64_t>(consumed));
+    }
+    if (fatal && conn->reading) {
+      conn->reading = false;
+      EpollMod(conn->fd, conn->want_write ? EPOLLOUT : 0u);
+    }
+  }
+
+  void Dispatch(const ConnPtr& conn, const net::FrameHeader& header,
+                const Slice& payload) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const net::Op op = static_cast<net::Op>(header.opcode);
+    const bool is_write = op == net::Op::kPut || op == net::Op::kDelete ||
+                          op == net::Op::kWriteBatch;
+    const bool is_read = op == net::Op::kGet || op == net::Op::kScan ||
+                         op == net::Op::kStats || op == net::Op::kPing;
+    if (!is_write && !is_read) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::string payload_out;
+      net::EncodeStatusRecord(&payload_out,
+                              Status::InvalidArgument("unknown opcode"));
+      Respond(conn, net::kOpError | net::kResponseBit, header.request_id,
+              payload_out, /*close_after=*/true);
+      if (conn->reading) {
+        conn->reading = false;
+        EpollMod(conn->fd, conn->want_write ? EPOLLOUT : 0u);
+      }
+      return;
+    }
+
+    if (is_write) {
+      writes_.fetch_add(1, std::memory_order_relaxed);
+    } else if (op == net::Op::kGet) {
+      gets_.fetch_add(1, std::memory_order_relaxed);
+    } else if (op == net::Op::kScan) {
+      scans_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Request req;
+    req.conn = conn;
+    req.opcode = header.opcode;
+    req.request_id = header.request_id;
+    req.payload.assign(payload.data(), payload.size());
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> l(queue_mu_);
+      (is_write ? write_tasks_ : read_tasks_).push_back(std::move(req));
+    }
+    queue_cv_.notify_one();
+  }
+
+  // Append one framed response to the connection and schedule a flush.
+  // Safe from any thread. `finish` marks this as the answer to a
+  // dispatched request: the inflight count is decremented under the same
+  // lock that publishes the response bytes, so the loop can never see
+  // "no response buffered and nothing in flight" for an unanswered
+  // request.
+  void Respond(const ConnPtr& conn, uint8_t opcode, uint64_t request_id,
+               const Slice& payload, bool close_after = false,
+               bool finish = false) {
+    std::string frame;
+    net::EncodeFrame(&frame, opcode, request_id, payload);
+    bool appended = false;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      if (finish) conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (!conn->closed) {
+        conn->wbuf.append(frame);
+        if (close_after) conn->close_after_flush = true;
+        appended = true;
+      }
+    }
+    if (!appended) return;
+    AdjustBuffered(static_cast<int64_t>(frame.size()));
+    bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> l(pending_mu_);
+      pending_flush_.push_back(conn);
+    }
+    Wake();
+  }
+
+  void FlushPending() {
+    std::vector<ConnPtr> pending;
+    {
+      std::lock_guard<std::mutex> l(pending_mu_);
+      pending.swap(pending_flush_);
+    }
+    for (auto& conn : pending) {
+      TryFlush(conn);
+      MaybeClose(conn);
+    }
+  }
+
+  // Write as much buffered output as the socket accepts (loop thread only).
+  void TryFlush(const ConnPtr& conn) {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return;
+    while (conn->woff < conn->wbuf.size()) {
+      ssize_t w = ::send(conn->fd, conn->wbuf.data() + conn->woff,
+                         conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+      if (w > 0) {
+        conn->woff += static_cast<size_t>(w);
+        AdjustBuffered(-w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          EpollMod(conn->fd, (conn->reading ? EPOLLIN : 0u) | EPOLLOUT);
+        }
+        return;  // keep the unflushed suffix buffered
+      }
+      if (w < 0 && errno == EINTR) continue;
+      // Peer is gone; discard what it will never read.
+      AdjustBuffered(-static_cast<int64_t>(conn->wbuf.size() - conn->woff));
+      conn->woff = conn->wbuf.size();
+      conn->peer_closed = true;
+      break;
+    }
+    conn->wbuf.clear();
+    conn->woff = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      EpollMod(conn->fd, conn->reading ? EPOLLIN : 0u);
+    }
+  }
+
+  bool ReadyToClose(const ConnPtr& conn) {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return false;
+    const bool buffered = conn->woff < conn->wbuf.size();
+    if (conn->close_after_flush && !buffered &&
+        conn->inflight.load(std::memory_order_relaxed) == 0) {
+      return true;
+    }
+    return conn->peer_closed && !buffered &&
+           conn->inflight.load(std::memory_order_relaxed) == 0;
+  }
+
+  void MaybeClose(const ConnPtr& conn) {
+    if (ReadyToClose(conn)) CloseConn(conn);
+  }
+
+  // Loop thread only.
+  void CloseConn(const ConnPtr& conn) {
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      if (conn->closed) return;
+      conn->closed = true;
+      const int64_t held =
+          static_cast<int64_t>(conn->rbuf.size()) +
+          static_cast<int64_t>(conn->wbuf.size() - conn->woff);
+      if (held > 0) AdjustBuffered(-held);
+      conn->rbuf.clear();
+      conn->wbuf.clear();
+      conn->woff = 0;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    net::CloseFd(conn->fd);
+    conns_.erase(conn->fd);
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // -------------------------------------------------------------- workers
+
+  void WorkerMain() {
+    std::unique_lock<std::mutex> l(queue_mu_);
+    for (;;) {
+      if (!write_tasks_.empty() && !write_leader_active_) {
+        // Become the write leader: drain a group of queued writes and
+        // commit them as one WriteBatch.
+        write_leader_active_ = true;
+        std::vector<Request> group;
+        size_t group_bytes = 0;
+        while (!write_tasks_.empty() &&
+               group.size() < opts_.max_batch_requests &&
+               group_bytes < opts_.max_batch_bytes) {
+          group_bytes += write_tasks_.front().payload.size();
+          group.push_back(std::move(write_tasks_.front()));
+          write_tasks_.pop_front();
+        }
+        executing_ += static_cast<int>(group.size());
+        l.unlock();
+        RunWriteGroup(group);
+        l.lock();
+        executing_ -= static_cast<int>(group.size());
+        write_leader_active_ = false;
+        if (!write_tasks_.empty()) queue_cv_.notify_one();
+        drain_cv_.notify_all();
+        continue;
+      }
+      if (!read_tasks_.empty()) {
+        Request req = std::move(read_tasks_.front());
+        read_tasks_.pop_front();
+        executing_++;
+        l.unlock();
+        RunRead(req);
+        l.lock();
+        executing_--;
+        drain_cv_.notify_all();
+        continue;
+      }
+      if (workers_exit_) return;
+      queue_cv_.wait(l);
+    }
+  }
+
+  void RunWriteGroup(std::vector<Request>& group) {
+    WriteBatch combined;
+    std::vector<bool> included(group.size(), false);
+    int included_count = 0;
+    for (size_t i = 0; i < group.size(); i++) {
+      const Request& req = group[i];
+      Slice key, value;
+      bool ok = false;
+      switch (static_cast<net::Op>(req.opcode)) {
+        case net::Op::kPut:
+          ok = net::DecodePutRequest(req.payload, &key, &value);
+          if (ok) combined.Put(key, value);
+          break;
+        case net::Op::kDelete:
+          ok = net::DecodeKeyRequest(req.payload, &key);
+          if (ok) combined.Delete(key);
+          break;
+        case net::Op::kWriteBatch: {
+          WriteBatch one;
+          ok = net::DecodeWriteBatchRequest(req.payload, &one);
+          if (ok) combined.Append(one);
+          break;
+        }
+        default:
+          break;
+      }
+      if (ok) {
+        included[i] = true;
+        included_count++;
+      } else {
+        std::string payload_out;
+        net::EncodeStatusRecord(
+            &payload_out, Status::InvalidArgument("malformed write payload"));
+        Respond(req.conn, req.opcode | net::kResponseBit, req.request_id,
+                payload_out, /*close_after=*/false, /*finish=*/true);
+      }
+    }
+
+    Status s;
+    if (included_count > 0) {
+      WriteOptions wo;
+      wo.sync = opts_.sync_writes;
+      s = db_->Write(wo, &combined);
+      write_groups_.fetch_add(1, std::memory_order_relaxed);
+      batched_writes_.fetch_add(included_count, std::memory_order_relaxed);
+    }
+    // Group commit is all-or-nothing: every member shares the outcome.
+    std::string payload_out;
+    net::EncodeStatusRecord(&payload_out, s);
+    for (size_t i = 0; i < group.size(); i++) {
+      if (!included[i]) continue;
+      Respond(group[i].conn, group[i].opcode | net::kResponseBit,
+              group[i].request_id, payload_out, /*close_after=*/false,
+              /*finish=*/true);
+    }
+  }
+
+  void RunRead(const Request& req) {
+    std::string payload_out;
+    switch (static_cast<net::Op>(req.opcode)) {
+      case net::Op::kPing:
+        net::EncodeStatusRecord(&payload_out, Status::OK());
+        break;
+      case net::Op::kGet: {
+        Slice key;
+        if (!net::DecodeKeyRequest(req.payload, &key)) {
+          net::EncodeGetResponse(
+              &payload_out, Status::InvalidArgument("malformed GET payload"),
+              Slice());
+          break;
+        }
+        std::string value;
+        Status s = db_->Get(ReadOptions(), key, &value);
+        net::EncodeGetResponse(&payload_out, s, value);
+        break;
+      }
+      case net::Op::kScan: {
+        Slice start;
+        uint32_t limit = 0;
+        std::vector<std::pair<std::string, std::string>> entries;
+        if (!net::DecodeScanRequest(req.payload, &start, &limit)) {
+          net::EncodeScanResponse(
+              &payload_out, Status::InvalidArgument("malformed SCAN payload"),
+              entries);
+          break;
+        }
+        limit = std::min(limit, opts_.max_scan_limit);
+        std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+        for (it->Seek(start); it->Valid() && entries.size() < limit;
+             it->Next()) {
+          entries.emplace_back(it->key().ToString(), it->value().ToString());
+        }
+        net::EncodeScanResponse(&payload_out, it->status(), entries);
+        break;
+      }
+      case net::Op::kStats:
+        net::EncodeStatsResponse(&payload_out, Status::OK(), BuildStatsText());
+        break;
+      default:
+        net::EncodeStatusRecord(
+            &payload_out, Status::InvalidArgument("unexpected opcode"));
+        break;
+    }
+    Respond(req.conn, req.opcode | net::kResponseBit, req.request_id,
+            payload_out, /*close_after=*/false, /*finish=*/true);
+  }
+
+  std::string BuildStatsText() {
+    std::string text;
+    std::string prop;
+    if (db_->GetProperty("sealdb.stats", &prop)) {
+      text.append("-- engine --\n");
+      text.append(prop);
+    }
+    if (db_->GetProperty("sealdb.approximate-memory-usage", &prop)) {
+      text.append("approximate memory usage: ");
+      text.append(prop);
+      text.append(" bytes\n");
+    }
+    if (db_->GetProperty("sealdb.background-error", &prop)) {
+      text.append("background error: ");
+      text.append(prop);
+      text.append("\n");
+    }
+    if (stack_ != nullptr) {
+      const smr::DeviceStats d = stack_->device_stats();
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "-- device --\n"
+          "busy: %.3f s (seek/position %.3f s, transfer %.3f s), seeks: "
+          "%llu\n"
+          "logical MB written/read: %.1f / %.1f, physical MB written/read: "
+          "%.1f / %.1f, AWA: %.3f\n",
+          d.busy_seconds, d.position_seconds,
+          d.busy_seconds - d.position_seconds,
+          static_cast<unsigned long long>(d.seeks),
+          d.logical_bytes_written / 1048576.0,
+          d.logical_bytes_read / 1048576.0,
+          d.physical_bytes_written / 1048576.0,
+          d.physical_bytes_read / 1048576.0, d.awa());
+      text.append(buf);
+    }
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "-- server --\n"
+        "connections: %llu active / %llu accepted\n"
+        "requests: %llu (gets %llu, writes %llu, scans %llu)\n"
+        "group commit: %llu groups for %llu writes\n"
+        "bytes in/out: %llu / %llu, connection buffers: %llu bytes\n"
+        "protocol errors: %llu\n",
+        static_cast<unsigned long long>(
+            connections_active_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            connections_accepted_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            requests_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(gets_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            writes_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(scans_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            write_groups_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            batched_writes_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            bytes_in_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            bytes_out_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            buffer_bytes_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            protocol_errors_.load(std::memory_order_relaxed)));
+    text.append(buf);
+    return text;
+  }
+
+  // ----------------------------------------------------------------- stop
+
+  void StopImpl() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
+    if (!started_.load() || stopped_) return;
+
+    // 1. Stop accepting and reading. The loop dispatches any complete
+    //    frames it already received, then acknowledges via
+    //    reads_quiesced_.
+    stopping_.store(true, std::memory_order_release);
+    Wake();
+
+    // 2. Drain: every dispatched request executed and its response
+    //    appended to its connection buffer.
+    {
+      std::unique_lock<std::mutex> l(queue_mu_);
+      drain_cv_.wait(l, [this] {
+        return reads_quiesced_ && read_tasks_.empty() &&
+               write_tasks_.empty() && executing_ == 0;
+      });
+      workers_exit_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+
+    // 3. Flush the remaining output buffers, then let the loop exit and
+    //    close every socket.
+    flush_and_exit_.store(true, std::memory_order_release);
+    Wake();
+    loop_thread_.join();
+
+    net::CloseFd(epoll_fd_);
+    net::CloseFd(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    stopped_ = true;
+  }
+};
+
+SealServer::SealServer(DB* db, baselines::Stack* stack,
+                       const ServerOptions& options)
+    : impl_(std::make_unique<Impl>(db, stack, options)) {}
+
+SealServer::~SealServer() {
+  if (impl_ != nullptr) impl_->StopImpl();
+}
+
+Status SealServer::Start() {
+  Status s = impl_->Start();
+  if (s.ok()) port_ = impl_->port_;
+  return s;
+}
+
+void SealServer::Stop() { impl_->StopImpl(); }
+
+ServerStats SealServer::stats() const {
+  ServerStats out;
+  out.connections_accepted =
+      impl_->connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_active =
+      impl_->connections_active_.load(std::memory_order_relaxed);
+  out.requests = impl_->requests_.load(std::memory_order_relaxed);
+  out.gets = impl_->gets_.load(std::memory_order_relaxed);
+  out.writes = impl_->writes_.load(std::memory_order_relaxed);
+  out.scans = impl_->scans_.load(std::memory_order_relaxed);
+  out.write_groups = impl_->write_groups_.load(std::memory_order_relaxed);
+  out.batched_writes = impl_->batched_writes_.load(std::memory_order_relaxed);
+  out.protocol_errors =
+      impl_->protocol_errors_.load(std::memory_order_relaxed);
+  out.bytes_in = impl_->bytes_in_.load(std::memory_order_relaxed);
+  out.bytes_out = impl_->bytes_out_.load(std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t SealServer::connection_buffer_bytes() const {
+  return impl_->buffer_bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace sealdb::server

@@ -1,0 +1,102 @@
+// SealServer: a network front-end over any DB from this repo — an
+// epoll-driven, non-blocking event loop feeding a fixed worker pool.
+//
+// Threading model (DESIGN.md §10):
+//   - one event-loop thread owns every socket: it accepts, reads bytes,
+//     parses complete frames, and performs all socket writes;
+//   - `num_workers` worker threads execute DB operations. Read-path
+//     requests (GET/SCAN/STATS/PING) run concurrently; write-path
+//     requests (PUT/DELETE/WRITE_BATCH) are group-committed: one worker
+//     becomes the write leader, drains the queued writes into a single
+//     WriteBatch, applies it with one DB::Write, and acks every request
+//     in the group (LevelDB-style group commit, but across connections);
+//   - workers never touch sockets: responses are appended to the
+//     connection's output buffer under its mutex and the loop is woken
+//     via eventfd to flush.
+//
+// Graceful shutdown: Stop() stops accepting and reading, waits until every
+// parsed request has been executed and acked, flushes the remaining output
+// buffers (bounded by a drain deadline for stuck peers), then closes.
+// Only after Stop() returns may the caller close the DB.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace sealdb {
+class DB;
+}
+
+namespace sealdb::baselines {
+class Stack;
+}
+
+namespace sealdb::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; SealServer::port() reports the actual one.
+  uint16_t port = 0;
+  int num_workers = 4;
+  // Per-request payload cap; larger frames get a typed error and the
+  // connection is closed.
+  uint32_t max_frame_bytes = 8u << 20;
+  // Group commit coalesces queued writes until the combined batch reaches
+  // this size (or the queue empties).
+  size_t max_batch_bytes = 1u << 20;
+  size_t max_batch_requests = 256;
+  // SCAN limits above this are clamped.
+  uint32_t max_scan_limit = 10000;
+  // WriteOptions::sync for every group commit.
+  bool sync_writes = false;
+  // How long Stop() keeps flushing response buffers to peers that have
+  // stopped reading before force-closing them.
+  int drain_deadline_millis = 5000;
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t requests = 0;
+  uint64_t gets = 0;
+  uint64_t writes = 0;        // PUT + DELETE + WRITE_BATCH requests
+  uint64_t scans = 0;
+  uint64_t write_groups = 0;  // DB::Write calls issued by group commit
+  uint64_t batched_writes = 0;  // write requests folded into those groups
+  uint64_t protocol_errors = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class SealServer {
+ public:
+  // `db` (and `stack`, if given) must outlive Stop(). `stack` is optional;
+  // when present STATS responses include device stats and the connection
+  // buffer bytes are folded into the stack's external-memory counter (and
+  // therefore into "sealdb.approximate-memory-usage").
+  SealServer(DB* db, baselines::Stack* stack, const ServerOptions& options);
+  ~SealServer();
+
+  SealServer(const SealServer&) = delete;
+  SealServer& operator=(const SealServer&) = delete;
+
+  Status Start();
+  // Graceful drain; idempotent and safe to call from any thread.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  ServerStats stats() const;
+  // Bytes currently held in per-connection read/write buffers.
+  uint64_t connection_buffer_bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace sealdb::server

@@ -3,8 +3,10 @@
 // the paper's configurations.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace sealdb {
 
@@ -94,6 +96,13 @@ struct Options {
   // not overlap (disjoint sets at a level, paper Sec. III-A) run
   // concurrently; conflicting picks are serialized by a reservation map.
   int max_background_compactions = 1;
+
+  // Bytes held by components outside the engine but inside the same
+  // process budget (e.g. the network server's per-connection read/write
+  // buffers). Folded into "sealdb.approximate-memory-usage" so a serving
+  // front-end reports total memory pressure through one property. Shared
+  // so the owner can keep updating it after Open() copies the Options.
+  std::shared_ptr<std::atomic<uint64_t>> external_memory_bytes;
 
   // Stream compaction inputs through a double-buffered readahead reader
   // (large chunked extent reads with the next chunk prefetched during the

@@ -43,6 +43,12 @@ class Status {
 
   std::string ToString() const;
 
+  // The raw message without the code prefix ToString() prepends. Used by
+  // the wire protocol, which transmits the code and message separately.
+  Slice message() const {
+    return rep_ == nullptr ? Slice() : Slice(rep_->msg);
+  }
+
  private:
   enum Code {
     kOk = 0,

@@ -1,29 +1,82 @@
 #include "ycsb/runner.h"
 
+#include <chrono>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "baselines/presets.h"
 #include "lsm/iterator.h"
+#include "net/seal_client.h"
 
 namespace sealdb::ycsb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Status Runner::OpGet(const std::string& key, std::string* value) {
+  if (client_ != nullptr) return client_->Get(key, value);
+  return stack_->db()->Get(ReadOptions(), key, value);
+}
+
+Status Runner::OpPut(const std::string& key, const std::string& value) {
+  if (client_ != nullptr) return client_->Put(key, value);
+  return stack_->db()->Put(WriteOptions(), key, value);
+}
+
+Status Runner::OpScan(const std::string& start, int len, std::string* sink) {
+  if (client_ != nullptr) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    Status s = client_->Scan(start, static_cast<size_t>(len), &entries);
+    if (!s.ok()) return s;
+    if (!entries.empty()) *sink = std::move(entries.back().second);
+    return Status::OK();
+  }
+  std::unique_ptr<Iterator> it(stack_->db()->NewIterator(ReadOptions()));
+  for (it->Seek(start); it->Valid() && len > 0; it->Next(), len--) {
+    sink->assign(it->value().data(), it->value().size());
+  }
+  return it->status();
+}
+
+void Runner::Settle() {
+  if (stack_ != nullptr) stack_->db()->WaitForIdle();
+}
 
 Status Runner::Load(uint64_t record_count, RunResult* result) {
   *result = RunResult();
   result->workload = "Load";
   CoreWorkload workload(WorkloadSpec::Load(), 0, key_bytes_, value_bytes_,
                         seed_);
-  DB* db = stack_->db();
-  const double device_before = stack_->device_stats().busy_seconds;
-  WriteOptions wo;
+  const double device_before =
+      stack_ != nullptr ? stack_->device_stats().busy_seconds : 0.0;
+  const auto wall_start = Clock::now();
   for (uint64_t i = 0; i < record_count; i++) {
-    Status s = db->Put(wo, workload.NextInsertKey(), workload.NextValue());
+    const auto op_start = Clock::now();
+    Status s = OpPut(workload.NextInsertKey(), workload.NextValue());
     if (!s.ok()) return s;
+    result->latency_micros.Add(MicrosSince(op_start));
     result->inserts++;
     result->operations++;
   }
-  db->WaitForIdle();
-  result->device_seconds =
-      stack_->device_stats().busy_seconds - device_before;
+  Settle();
+  result->wall_seconds = SecondsSince(wall_start);
+  if (stack_ != nullptr) {
+    result->device_seconds =
+        stack_->device_stats().busy_seconds - device_before;
+  }
   return Status::OK();
 }
 
@@ -33,16 +86,16 @@ Status Runner::Run(const WorkloadSpec& spec, uint64_t record_count,
   result->workload = spec.name;
   CoreWorkload workload(spec, record_count, key_bytes_, value_bytes_,
                         seed_ + 100);
-  DB* db = stack_->db();
-  const double device_before = stack_->device_stats().busy_seconds;
-  WriteOptions wo;
-  ReadOptions ro;
+  const double device_before =
+      stack_ != nullptr ? stack_->device_stats().busy_seconds : 0.0;
+  const auto wall_start = Clock::now();
   std::string value;
 
   for (uint64_t i = 0; i < op_count; i++) {
+    const auto op_start = Clock::now();
     switch (workload.NextOperation()) {
       case Operation::kRead: {
-        Status s = db->Get(ro, workload.NextRequestKey(), &value);
+        Status s = OpGet(workload.NextRequestKey(), &value);
         if (s.IsNotFound()) {
           result->not_found++;
         } else if (!s.ok()) {
@@ -52,45 +105,44 @@ Status Runner::Run(const WorkloadSpec& spec, uint64_t record_count,
         break;
       }
       case Operation::kUpdate: {
-        Status s =
-            db->Put(wo, workload.NextRequestKey(), workload.NextValue());
+        Status s = OpPut(workload.NextRequestKey(), workload.NextValue());
         if (!s.ok()) return s;
         result->updates++;
         break;
       }
       case Operation::kInsert: {
-        Status s = db->Put(wo, workload.NextInsertKey(), workload.NextValue());
+        Status s = OpPut(workload.NextInsertKey(), workload.NextValue());
         if (!s.ok()) return s;
         result->inserts++;
         break;
       }
       case Operation::kScan: {
-        std::unique_ptr<Iterator> it(db->NewIterator(ro));
-        int len = workload.NextScanLength();
-        for (it->Seek(workload.NextRequestKey()); it->Valid() && len > 0;
-             it->Next(), len--) {
-          value.assign(it->value().data(), it->value().size());
-        }
-        if (!it->status().ok()) return it->status();
+        Status s = OpScan(workload.NextRequestKey(), workload.NextScanLength(),
+                          &value);
+        if (!s.ok()) return s;
         result->scans++;
         break;
       }
       case Operation::kReadModifyWrite: {
         const std::string key = workload.NextRequestKey();
-        Status s = db->Get(ro, key, &value);
+        Status s = OpGet(key, &value);
         if (!s.ok() && !s.IsNotFound()) return s;
         if (s.IsNotFound()) result->not_found++;
-        s = db->Put(wo, key, workload.NextValue());
+        s = OpPut(key, workload.NextValue());
         if (!s.ok()) return s;
         result->rmws++;
         break;
       }
     }
+    result->latency_micros.Add(MicrosSince(op_start));
     result->operations++;
   }
-  db->WaitForIdle();
-  result->device_seconds =
-      stack_->device_stats().busy_seconds - device_before;
+  Settle();
+  result->wall_seconds = SecondsSince(wall_start);
+  if (stack_ != nullptr) {
+    result->device_seconds =
+        stack_->device_stats().busy_seconds - device_before;
+  }
   return Status::OK();
 }
 
