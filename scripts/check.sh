@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build and run the full test suite in the default
-# configuration and under ThreadSanitizer. The TSan pass exists for the
-# parallel compaction executor and the network server — the `stress`
-# label marks the tests that exercise concurrency hardest, and
-# `-L stress` re-runs them a few extra times under TSan to shake out
-# schedule-dependent races.
+# configuration, under ThreadSanitizer, and under AddressSanitizer. The
+# TSan pass exists for the parallel compaction executor and the network
+# server — the `stress` label marks the tests that exercise concurrency
+# hardest, and `-L stress` re-runs them a few extra times under TSan to
+# shake out schedule-dependent races. The ASan pass covers the buffer
+# handling in the wire protocol, the chaos proxy's frame surgery, and
+# the slow-client eviction path, where a lifetime bug would otherwise
+# hide behind the allocator.
 #
 # Usage: scripts/check.sh [--fast] [--filter <regex>]
-#   --fast            TSan config runs only the stress-labelled tests
-#                     instead of the full suite (the full default-config
-#                     suite always runs).
+#   --fast            sanitizer configs run only the stress-labelled
+#                     tests instead of the full suite (the full
+#                     default-config suite always runs).
 #   --filter <regex>  only run ctest tests matching <regex> (passed as
 #                     ctest -R) in both configurations; the stress-repeat
 #                     pass is scoped to the same regex.
@@ -72,6 +75,16 @@ if [ "$FAST" = 1 ]; then
 else
   ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -j "$JOBS"
   ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -L stress --repeat until-fail:3
+fi
+
+echo
+echo "== address sanitizer configuration =="
+cmake -B build-asan -S . -DSEALDB_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+if [ "$FAST" = 1 ]; then
+  ctest --test-dir build-asan "${CTEST_ARGS[@]}" -L stress
+else
+  ctest --test-dir build-asan "${CTEST_ARGS[@]}" -j "$JOBS"
 fi
 
 echo

@@ -78,6 +78,12 @@ struct StackConfig {
   // read/write errors, torn writes, and power failures.
   bool fault_injection = false;
 
+  // L0 write-stall trigger overrides (0 = keep the Options defaults).
+  // Stall and overload tests lower these so the slowdown/stop states
+  // engage with little data.
+  int level0_slowdown_writes_trigger = 0;
+  int level0_stop_writes_trigger = 0;
+
   // Divide all size constants by `factor` (power of two suggested).
   StackConfig Scaled(uint64_t factor) const;
 };

@@ -78,6 +78,14 @@ struct DbStats {
   // single-threaded executor; >=2 once disjoint sets compact in parallel).
   uint64_t max_parallel_compactions = 0;
 
+  // Write-stall accounting (MakeRoomForWrite): how many writes hit the L0
+  // slowdown trigger, how many parked waiting for a flush/compaction, and
+  // the total wall time spent parked. A serving layer uses the live
+  // counterpart (DB::WriteStallLevel) to shed load before a worker blocks.
+  uint64_t write_stall_slowdowns = 0;
+  uint64_t write_stall_stops = 0;
+  uint64_t write_stall_micros = 0;
+
   // Paper Table I: WA = data written by the LSM-tree / user data.
   double wa() const {
     if (user_bytes_written == 0) return 1.0;
@@ -132,6 +140,15 @@ class DB {
   // Wait until no compaction work is pending (flushes the compaction
   // pipeline; no-op with inline compactions).
   virtual void WaitForIdle() = 0;
+
+  // Live write-stall state, cheap enough to poll per request (one atomic
+  // load, no DB mutex): 0 = no stall, 1 = slowdown (L0 file count at
+  // level0_slowdown_writes_trigger or a memtable flush is backed up),
+  // 2 = stop (L0 at level0_stop_writes_trigger — the next write would park
+  // inside MakeRoomForWrite until background work catches up). Admission
+  // layers reject or delay new writes at >= 2 instead of letting worker
+  // threads block in the engine.
+  virtual int WriteStallLevel() { return 0; }
 
   // ---- instrumentation used by the benchmark harnesses ----
   virtual DbStats GetDbStats() = 0;

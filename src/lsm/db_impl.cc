@@ -610,6 +610,7 @@ void DBImpl::CompactMemTable() {
     imm_ = nullptr;
     has_imm_.store(false, std::memory_order_release);
     pick_exhausted_ = false;  // the new L0 file may enable a compaction
+    UpdateStallLevel();
     RemoveObsoleteFiles();
   } else {
     RecordBackgroundError(s);
@@ -857,6 +858,7 @@ void DBImpl::ExecuteCompaction(Compaction* c) {
     if (!status.ok()) {
       RecordBackgroundError(status);
     }
+    UpdateStallLevel();
     stats_.num_compactions++;
     if (record_events_) {
       CompactionEvent ev;
@@ -994,6 +996,7 @@ Status DBImpl::InstallCompactionResults(CompactionState* compact) {
                                          compact->region_id);
   }
   Status s = versions_->LogAndApply(compact->compaction->edit());
+  if (s.ok()) UpdateStallLevel();
   if (s.ok() && set_manager_ != nullptr && compact->region_id != 0) {
     std::vector<uint64_t> files;
     files.reserve(compact->outputs.size());
@@ -1541,6 +1544,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
   bool allow_delay = !force;
   Status s;
   while (true) {
+    UpdateStallLevel();
     if (!bg_error_.ok()) {
       // Yield previous error
       s = bg_error_;
@@ -1552,6 +1556,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // L0 files.  Rather than delaying a single write by several
       // seconds when we hit the hard limit, start compacting.
       allow_delay = false;  // Do not delay a single write more than once
+      stats_.write_stall_slowdowns++;
       if (options_.inline_compactions) {
         MaybeScheduleCompaction();
       }
@@ -1563,20 +1568,26 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     } else if (imm_ != nullptr) {
       // We have filled up the current memtable, but the previous
       // one is still being compacted, so we wait.
+      stats_.write_stall_stops++;
       if (options_.inline_compactions) {
         CompactMemTable();
       } else {
         MaybeScheduleCompaction();
+        const uint64_t stall_start = NowMicros();
         background_work_finished_signal_.wait(mutex_);
+        stats_.write_stall_micros += NowMicros() - stall_start;
       }
     } else if (versions_->NumLevelFiles(0) >=
                options_.level0_stop_writes_trigger) {
       // There are too many level-0 files.
+      stats_.write_stall_stops++;
       if (options_.inline_compactions) {
         MaybeScheduleCompaction();
       } else {
         MaybeScheduleCompaction();
+        const uint64_t stall_start = NowMicros();
         background_work_finished_signal_.wait(mutex_);
+        stats_.write_stall_micros += NowMicros() - stall_start;
       }
     } else {
       // Attempt to switch to a new memtable and trigger compaction of old
@@ -1603,7 +1614,20 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       MaybeScheduleCompaction();
     }
   }
+  UpdateStallLevel();
   return s;
+}
+
+void DBImpl::UpdateStallLevel() {
+  const int l0 = versions_->NumLevelFiles(0);
+  int level = 0;
+  if (l0 >= options_.level0_stop_writes_trigger) {
+    level = 2;
+  } else if (l0 >= options_.level0_slowdown_writes_trigger ||
+             imm_ != nullptr) {
+    level = 1;
+  }
+  stall_level_.store(level, std::memory_order_relaxed);
 }
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
@@ -1629,7 +1653,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         ok = false;
       }
     } else if (in == "stats") {
-      char buf[700];
+      char buf[800];
       std::snprintf(
           buf, sizeof(buf),
           "flushes: %llu, compactions: %llu\n"
@@ -1637,7 +1661,9 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
           "WA: %.2f, compaction device time: %.3f s\n"
           "compaction stage micros: pick %llu, read %llu, merge %llu, "
           "write %llu, install %llu\n"
-          "max parallel compactions: %llu\n",
+          "max parallel compactions: %llu\n"
+          "write stalls: %llu slowdowns, %llu stops, %llu micros parked "
+          "(level now %d)\n",
           static_cast<unsigned long long>(stats_.num_flushes),
           static_cast<unsigned long long>(stats_.num_compactions),
           stats_.user_bytes_written / 1048576.0,
@@ -1649,7 +1675,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
           static_cast<unsigned long long>(stats_.compaction_merge_micros),
           static_cast<unsigned long long>(stats_.compaction_write_micros),
           static_cast<unsigned long long>(stats_.compaction_install_micros),
-          static_cast<unsigned long long>(stats_.max_parallel_compactions));
+          static_cast<unsigned long long>(stats_.max_parallel_compactions),
+          static_cast<unsigned long long>(stats_.write_stall_slowdowns),
+          static_cast<unsigned long long>(stats_.write_stall_stops),
+          static_cast<unsigned long long>(stats_.write_stall_micros),
+          stall_level_.load(std::memory_order_relaxed));
       *value = buf;
       ok = true;
     } else if (in == "sstables") {

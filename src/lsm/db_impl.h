@@ -60,6 +60,9 @@ class DBImpl : public DB {
   void CompactLevelRange(int level, const Slice* begin,
                          const Slice* end) override;
   void WaitForIdle() override;
+  int WriteStallLevel() override {
+    return stall_level_.load(std::memory_order_relaxed);
+  }
 
   DbStats GetDbStats() override;
   std::vector<LiveFileMeta> GetLiveFilesMetadata() override;
@@ -125,6 +128,12 @@ class DBImpl : public DB {
       EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   void RecordBackgroundError(const Status& s);
+
+  // Recompute stall_level_ from the L0 file count and memtable backlog.
+  // Called wherever either changes (writes, flush installs, compaction
+  // installs) so WriteStallLevel() tracks the engine without taking
+  // mutex_ on the read side.
+  void UpdateStallLevel() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
 
   void MaybeScheduleCompaction() EXCLUSIVE_LOCKS_REQUIRED(mutex_);
   void BackgroundThreadMain();
@@ -205,6 +214,10 @@ class DBImpl : public DB {
 
   // Have we encountered a background error in paranoid mode?
   Status bg_error_;
+
+  // Published copy of the write-stall state (see DB::WriteStallLevel);
+  // written under mutex_ by UpdateStallLevel, read lock-free by anyone.
+  std::atomic<int> stall_level_{0};
 
   // SEALDB set bookkeeping (null unless compaction_unit == kSet).
   std::unique_ptr<core::SetManager> set_manager_;

@@ -1,0 +1,274 @@
+#include "net/chaos.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace sealdb::net {
+
+namespace {
+
+enum class Fault { kNone, kDrop, kDelay, kDuplicate, kTruncate, kClose };
+
+}  // namespace
+
+struct ChaosTransport::Impl {
+  const std::string target_host_;
+  const uint16_t target_port_;
+  const ChaosOptions opts_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mu_;
+
+  struct Relay {
+    int client_fd = -1;
+    int server_fd = -1;
+    std::thread up;    // client -> server
+    std::thread down;  // server -> client
+    std::atomic<bool> killed{false};
+  };
+  std::mutex relays_mu_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  uint64_t next_conn_index_ = 0;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> frames_forwarded_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  std::atomic<uint64_t> frames_delayed_{0};
+  std::atomic<uint64_t> frames_duplicated_{0};
+  std::atomic<uint64_t> frames_truncated_{0};
+  std::atomic<uint64_t> connections_killed_{0};
+
+  Impl(const std::string& host, uint16_t port, const ChaosOptions& options)
+      : target_host_(host), target_port_(port), opts_(options) {}
+
+  Status Start() {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    if (started_) return Status::InvalidArgument("already started");
+    Status s = ListenTcp("127.0.0.1", 0, 64, &listen_fd_, &port_);
+    if (!s.ok()) return s;
+    started_ = true;
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::OK();
+  }
+
+  void AcceptLoop() {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      struct pollfd pfd;
+      pfd.fd = listen_fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int n = ::poll(&pfd, 1, 50);
+      if (n <= 0) continue;  // timeout or EINTR: re-check stopping_
+      const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) continue;
+
+      int server_fd = -1;
+      Status s = ConnectTcp(target_host_, target_port_, &server_fd,
+                            opts_.connect_timeout_millis);
+      if (!s.ok()) {
+        CloseFd(client_fd);
+        continue;
+      }
+
+      auto relay = std::make_unique<Relay>();
+      relay->client_fd = client_fd;
+      relay->server_fd = server_fd;
+      Relay* r = relay.get();
+      uint64_t conn_index;
+      {
+        std::lock_guard<std::mutex> l(relays_mu_);
+        conn_index = next_conn_index_++;
+        relays_.push_back(std::move(relay));
+      }
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      // Fault schedules are pure functions of (seed, connection index,
+      // direction): replayable with a fixed seed.
+      const uint32_t up_seed =
+          opts_.seed * 2654435761u + static_cast<uint32_t>(conn_index * 2);
+      const uint32_t down_seed =
+          opts_.seed * 2654435761u + static_cast<uint32_t>(conn_index * 2 + 1);
+      r->up = std::thread([this, r, up_seed] {
+        Pump(r, r->client_fd, r->server_fd, up_seed, opts_.faults_upstream);
+      });
+      r->down = std::thread([this, r, down_seed] {
+        Pump(r, r->server_fd, r->client_fd, down_seed,
+             opts_.faults_downstream);
+      });
+    }
+  }
+
+  // Shut both sockets so the peer pump unblocks too; fds are closed only
+  // at Stop() after the pump threads joined.
+  void KillRelay(Relay* r, bool from_fault) {
+    if (!r->killed.exchange(true)) {
+      if (from_fault) {
+        connections_killed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ::shutdown(r->client_fd, SHUT_RDWR);
+      ::shutdown(r->server_fd, SHUT_RDWR);
+    }
+  }
+
+  Fault RollFault(Random* rng) {
+    const uint32_t roll = rng->Uniform(1000);
+    uint32_t edge = opts_.drop_per_mille;
+    if (roll < edge) return Fault::kDrop;
+    edge += opts_.delay_per_mille;
+    if (roll < edge) return Fault::kDelay;
+    edge += opts_.duplicate_per_mille;
+    if (roll < edge) return Fault::kDuplicate;
+    edge += opts_.truncate_per_mille;
+    if (roll < edge) return Fault::kTruncate;
+    edge += opts_.close_per_mille;
+    if (roll < edge) return Fault::kClose;
+    return Fault::kNone;
+  }
+
+  // Forward bytes src -> dst one wire frame at a time, injecting at most
+  // one fault per frame. A stream that stops looking like frames is
+  // relayed raw with no further faults.
+  void Pump(Relay* r, int src, int dst, uint32_t seed, bool faults_enabled) {
+    Random rng(seed);
+    std::string frame;
+    bool raw = false;
+    while (!stopping_.load(std::memory_order_acquire) && !r->killed.load()) {
+      if (raw) {
+        char tmp[4096];
+        const ssize_t n = ::recv(src, tmp, sizeof(tmp), 0);
+        if (n <= 0) break;
+        if (!WriteFully(dst, tmp, static_cast<size_t>(n)).ok()) break;
+        continue;
+      }
+
+      char header[kFrameHeaderBytes];
+      if (!ReadFully(src, header, sizeof(header)).ok()) break;
+      const uint32_t payload_len = DecodeFixed32(header + 12);
+      const bool parses =
+          static_cast<uint8_t>(header[0]) == kWireMagic0 &&
+          static_cast<uint8_t>(header[1]) == kWireMagic1 &&
+          payload_len <= kMaxPayloadBytes;
+      frame.assign(header, sizeof(header));
+      if (!parses) {
+        if (!WriteFully(dst, frame.data(), frame.size()).ok()) break;
+        raw = true;
+        continue;
+      }
+      if (payload_len > 0) {
+        frame.resize(sizeof(header) + payload_len);
+        if (!ReadFully(src, frame.data() + sizeof(header), payload_len)
+                 .ok()) {
+          break;
+        }
+      }
+
+      switch (faults_enabled ? RollFault(&rng) : Fault::kNone) {
+        case Fault::kDrop:
+          frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        case Fault::kDelay:
+          frames_delayed_.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opts_.delay_millis));
+          break;
+        case Fault::kDuplicate:
+          frames_duplicated_.fetch_add(1, std::memory_order_relaxed);
+          if (!WriteFully(dst, frame.data(), frame.size()).ok()) {
+            KillRelay(r, false);
+            return;
+          }
+          break;
+        case Fault::kTruncate: {
+          frames_truncated_.fetch_add(1, std::memory_order_relaxed);
+          const size_t keep = payload_len > 0
+                                  ? sizeof(header) + payload_len / 2
+                                  : sizeof(header) / 2;
+          WriteFully(dst, frame.data(), keep);
+          KillRelay(r, true);
+          return;
+        }
+        case Fault::kClose:
+          KillRelay(r, true);
+          return;
+        case Fault::kNone:
+          break;
+      }
+      if (!WriteFully(dst, frame.data(), frame.size()).ok()) break;
+      frames_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    KillRelay(r, false);
+  }
+
+  void StopImpl() {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    if (!started_ || stopped_) return;
+    stopping_.store(true, std::memory_order_release);
+    accept_thread_.join();
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+
+    std::vector<std::unique_ptr<Relay>> relays;
+    {
+      std::lock_guard<std::mutex> rl(relays_mu_);
+      relays.swap(relays_);
+    }
+    for (auto& r : relays) KillRelay(r.get(), false);
+    for (auto& r : relays) {
+      if (r->up.joinable()) r->up.join();
+      if (r->down.joinable()) r->down.join();
+      CloseFd(r->client_fd);
+      CloseFd(r->server_fd);
+    }
+    stopped_ = true;
+  }
+};
+
+ChaosTransport::ChaosTransport(const std::string& target_host,
+                               uint16_t target_port,
+                               const ChaosOptions& options)
+    : impl_(std::make_unique<Impl>(target_host, target_port, options)) {}
+
+ChaosTransport::~ChaosTransport() {
+  if (impl_ != nullptr) impl_->StopImpl();
+}
+
+Status ChaosTransport::Start() { return impl_->Start(); }
+
+void ChaosTransport::Stop() { impl_->StopImpl(); }
+
+uint16_t ChaosTransport::port() const { return impl_->port_; }
+
+ChaosStats ChaosTransport::stats() const {
+  ChaosStats out;
+  out.connections = impl_->connections_.load(std::memory_order_relaxed);
+  out.frames_forwarded =
+      impl_->frames_forwarded_.load(std::memory_order_relaxed);
+  out.frames_dropped = impl_->frames_dropped_.load(std::memory_order_relaxed);
+  out.frames_delayed = impl_->frames_delayed_.load(std::memory_order_relaxed);
+  out.frames_duplicated =
+      impl_->frames_duplicated_.load(std::memory_order_relaxed);
+  out.frames_truncated =
+      impl_->frames_truncated_.load(std::memory_order_relaxed);
+  out.connections_killed =
+      impl_->connections_killed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sealdb::net

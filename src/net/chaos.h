@@ -1,0 +1,92 @@
+// ChaosTransport: a deterministic, frame-aware TCP fault proxy for chaos
+// testing the served stack (DESIGN.md §11).
+//
+// It listens on an ephemeral loopback port and relays every accepted
+// connection to a target server, parsing the wire protocol's frames
+// (net/wire.h) in both directions. Per frame, a seeded RNG decides one of:
+//
+//   forward    the common case, byte-exact relay
+//   drop       discard the frame silently (a lost request or a lost ack —
+//              the peer just never sees it)
+//   delay      hold the frame for delay_millis before forwarding
+//   duplicate  forward the frame twice (a retransmit the dedup layer must
+//              absorb)
+//   truncate   forward only a prefix of the frame, then kill the
+//              connection (a peer dying mid-send)
+//   close      kill the connection before forwarding (connection reset)
+//
+// Fault schedules are functions of (seed, connection index, direction),
+// so a test run with a fixed seed replays the same per-connection fault
+// sequence. Bytes that stop parsing as frames (wrong magic / absurd
+// length) demote that direction to raw passthrough — chaos never
+// corrupts, it only loses, reorders-in-time, repeats, or cuts.
+//
+// Compose with smr::FaultInjectionDrive underneath the server to exercise
+// network faults and storage faults in the same run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace sealdb::net {
+
+struct ChaosOptions {
+  uint32_t seed = 1;
+  // Per-frame fault probabilities in per-mille, evaluated cumulatively in
+  // this order; at most one fault applies to a frame.
+  uint32_t drop_per_mille = 0;
+  uint32_t delay_per_mille = 0;
+  uint32_t duplicate_per_mille = 0;
+  uint32_t truncate_per_mille = 0;
+  uint32_t close_per_mille = 0;
+  int delay_millis = 20;
+  // Which directions inject faults (both default on). Upstream is
+  // client -> server (requests), downstream is server -> client
+  // (responses).
+  bool faults_upstream = true;
+  bool faults_downstream = true;
+  // Deadline for the proxy's own connect to the target.
+  int connect_timeout_millis = 5000;
+};
+
+struct ChaosStats {
+  uint64_t connections = 0;
+  uint64_t frames_forwarded = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_delayed = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t frames_truncated = 0;
+  uint64_t connections_killed = 0;  // by truncate or close faults
+
+  uint64_t faults() const {
+    return frames_dropped + frames_delayed + frames_duplicated +
+           frames_truncated + connections_killed;
+  }
+};
+
+class ChaosTransport {
+ public:
+  // Relays 127.0.0.1:port() -> target_host:target_port.
+  ChaosTransport(const std::string& target_host, uint16_t target_port,
+                 const ChaosOptions& options);
+  ~ChaosTransport();
+
+  ChaosTransport(const ChaosTransport&) = delete;
+  ChaosTransport& operator=(const ChaosTransport&) = delete;
+
+  Status Start();
+  // Kills every relayed connection and joins all threads; idempotent.
+  void Stop();
+
+  uint16_t port() const;
+  ChaosStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sealdb::net

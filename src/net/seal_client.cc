@@ -1,5 +1,9 @@
 #include "net/seal_client.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
 #include "lsm/write_batch.h"
@@ -9,12 +13,49 @@
 
 namespace sealdb::net {
 
+namespace {
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// A per-client session nonce for the top 24 bits of every request id.
+// The server's write-dedup window is shared across connections, so ids
+// must not collide across clients: a process-wide counter guarantees
+// in-process uniqueness and the clock decorrelates separate processes.
+uint64_t MakeSessionNonce() {
+  static std::atomic<uint64_t> counter{1};
+  const uint64_t c = counter.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  uint64_t nonce = (c * 0x9E3779B97F4A7C15ull) ^ t;
+  nonce &= 0xFFFFFFu;
+  if (nonce == 0) nonce = c & 0xFFFFFFu ? c & 0xFFFFFFu : 1;
+  return nonce;
+}
+
+}  // namespace
+
+SealClient::SealClient() {
+  const uint64_t nonce = MakeSessionNonce();
+  next_request_id_ = (nonce << 40) | 1;
+  jitter_rng_ = Random(static_cast<uint32_t>(nonce));
+}
+
 SealClient::~SealClient() { Close(); }
 
 Status SealClient::Connect(const std::string& host, uint16_t port,
-                           int recv_timeout_millis) {
+                           int recv_timeout_millis,
+                           int connect_timeout_millis) {
   Close();
-  Status s = ConnectTcp(host, port, &fd_);
+  host_ = host;
+  port_ = port;
+  recv_timeout_millis_ = recv_timeout_millis;
+  connect_timeout_millis_ = connect_timeout_millis;
+  Status s = ConnectTcp(host, port, &fd_, connect_timeout_millis);
   if (!s.ok()) return s;
   if (recv_timeout_millis > 0) {
     s = SetRecvTimeout(fd_, recv_timeout_millis);
@@ -23,6 +64,31 @@ Status SealClient::Connect(const std::string& host, uint16_t port,
       return s;
     }
   }
+  return Status::OK();
+}
+
+void SealClient::set_retry_policy(const RetryPolicy& policy) {
+  retry_ = policy;
+  if (retry_.jitter_seed != 0) jitter_rng_ = Random(retry_.jitter_seed);
+}
+
+Status SealClient::Reconnect() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  if (host_.empty()) return Status::IOError("never connected");
+  Status s = ConnectTcp(host_, port_, &fd_, connect_timeout_millis_);
+  if (!s.ok()) return s;
+  if (recv_timeout_millis_ > 0) {
+    s = SetRecvTimeout(fd_, recv_timeout_millis_);
+    if (!s.ok()) {
+      CloseFd(fd_);
+      fd_ = -1;
+      return s;
+    }
+  }
+  stats_.reconnects++;
   return Status::OK();
 }
 
@@ -83,31 +149,123 @@ Status SealClient::ReadFrame(uint8_t* opcode, uint64_t* request_id,
   return Status::OK();
 }
 
+Status SealClient::OneRoundTrip(uint8_t opcode, uint64_t id,
+                                const Slice& request_payload,
+                                std::string* response_storage,
+                                Slice* response_payload) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  Status s = SendFrame(opcode, id, request_payload);
+  if (!s.ok()) return s;
+  // A duplicated response (network-level retransmission) for an older
+  // request may sit ahead of ours in the stream; skip a bounded number of
+  // stale frames instead of declaring the connection corrupt.
+  for (int skipped = 0; skipped < 32; skipped++) {
+    uint8_t resp_opcode = 0;
+    uint64_t resp_id = 0;
+    s = ReadFrame(&resp_opcode, &resp_id, response_storage, response_payload);
+    if (!s.ok()) return s;
+    if (resp_opcode == (kOpError | kResponseBit)) {
+      Status err;
+      Slice in = *response_payload;
+      if (DecodeStatusRecord(&in, &err) && !err.ok()) return err;
+      return Status::Corruption("server reported a protocol error");
+    }
+    if (resp_id != id && resp_id < id) continue;  // stale duplicate
+    if (resp_id != id || resp_opcode != (opcode | kResponseBit)) {
+      return Status::Corruption("response does not match request");
+    }
+    return Status::OK();
+  }
+  return Status::Corruption("no response among stale frames");
+}
+
 Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
                              std::string* response_storage,
                              Slice* response_payload) {
-  if (fd_ < 0) return Status::IOError("not connected");
   if (!pending_.empty()) {
     return Status::InvalidArgument(
         "pipelined requests pending; call Flush() first");
   }
+  // The id is fixed before the first attempt and reused verbatim on every
+  // retry: the server's dedup window recognises a resubmitted write by it.
   const uint64_t id = next_request_id_++;
-  Status s = SendFrame(opcode, id, request_payload);
-  if (!s.ok()) return s;
-  uint8_t resp_opcode = 0;
-  uint64_t resp_id = 0;
-  s = ReadFrame(&resp_opcode, &resp_id, response_storage, response_payload);
-  if (!s.ok()) return s;
-  if (resp_opcode == (kOpError | kResponseBit)) {
-    Status err;
-    Slice in = *response_payload;
-    if (DecodeStatusRecord(&in, &err) && !err.ok()) return err;
-    return Status::Corruption("server reported a protocol error");
+  if (!retry_.enabled) {
+    return OneRoundTrip(opcode, id, request_payload, response_storage,
+                        response_payload);
   }
-  if (resp_id != id || resp_opcode != (opcode | kResponseBit)) {
-    return Status::Corruption("response does not match request");
+
+  const uint64_t deadline =
+      retry_.deadline_millis > 0 ? NowMillis() + retry_.deadline_millis : 0;
+  const int attempts = retry_.max_attempts > 0 ? retry_.max_attempts : 1;
+  Status last = Status::IOError("no attempts made");
+  for (int attempt = 0; attempt < attempts; attempt++) {
+    if (attempt > 0) {
+      // Exponential backoff, capped, then half-jittered so concurrent
+      // clients spread out instead of re-colliding in lockstep.
+      int64_t backoff = retry_.base_backoff_millis > 0
+                            ? static_cast<int64_t>(retry_.base_backoff_millis)
+                                  << std::min(attempt - 1, 20)
+                            : 0;
+      if (retry_.max_backoff_millis > 0 &&
+          backoff > retry_.max_backoff_millis) {
+        backoff = retry_.max_backoff_millis;
+      }
+      if (backoff > 0) {
+        backoff = backoff / 2 +
+                  jitter_rng_.Uniform(static_cast<int>(backoff / 2 + 1));
+      }
+      if (deadline != 0) {
+        const uint64_t now = NowMillis();
+        if (now >= deadline) break;
+        backoff = std::min<int64_t>(backoff,
+                                    static_cast<int64_t>(deadline - now));
+      }
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      if (deadline != 0 && NowMillis() >= deadline) break;
+      stats_.retries++;
+    }
+
+    if (fd_ < 0) {
+      if (!retry_.reconnect) break;
+      last = Reconnect();
+      if (!last.ok()) continue;
+    }
+
+    last = OneRoundTrip(opcode, id, request_payload, response_storage,
+                        response_payload);
+    if (last.ok()) {
+      // Transport succeeded; peek at the leading status record (every
+      // response payload starts with one) so admission-control rejections
+      // are retried here instead of surfacing to the caller.
+      Status remote;
+      Slice in = *response_payload;
+      if (DecodeStatusRecord(&in, &remote) && remote.IsBusy()) {
+        stats_.busy_responses++;
+        last = remote;
+        continue;  // connection is fine: back off and resend
+      }
+      return Status::OK();
+    }
+
+    if (last.IsTimedOut()) stats_.timeouts++;
+    if (!last.IsIOError() && !last.IsTimedOut() && !last.IsCorruption()) {
+      return last;  // a typed engine error: give up, it's the real answer
+    }
+    // IOError / TimedOut / Corruption are all connection-shaped: the
+    // stream is dead or desynced and only a fresh socket is usable.
+    // The connection is mid-frame or dead; only a fresh one is usable.
+    if (fd_ >= 0) {
+      CloseFd(fd_);
+      fd_ = -1;
+    }
+    if (!retry_.reconnect) break;
   }
-  return Status::OK();
+  if (deadline != 0 && NowMillis() >= deadline) {
+    return Status::TimedOut("retry deadline exhausted", last.ToString());
+  }
+  return last;
 }
 
 Status SealClient::Ping() {

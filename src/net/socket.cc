@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -64,15 +65,71 @@ Status ListenTcp(const std::string& host, uint16_t port, int backlog,
   return Status::OK();
 }
 
-Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd,
+                  int connect_timeout_millis) {
   sockaddr_in addr;
   Status s = ParseAddr(host, port, &addr);
   if (!s.ok()) return s;
 
   int sock = ::socket(AF_INET, SOCK_STREAM, 0);
   if (sock < 0) return ErrnoStatus("socket");
-  if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+
+  if (connect_timeout_millis <= 0) {
+    if (::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status st = ErrnoStatus("connect");
+      CloseFd(sock);
+      return st;
+    }
+    (void)SetNoDelay(sock);
+    *fd = sock;
+    return Status::OK();
+  }
+
+  // Deadline-bounded connect: start the handshake non-blocking, poll for
+  // writability, then read SO_ERROR for the real outcome.
+  s = SetNonBlocking(sock);
+  if (!s.ok()) {
+    CloseFd(sock);
+    return s;
+  }
+  int rc = ::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
     Status st = ErrnoStatus("connect");
+    CloseFd(sock);
+    return st;
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = sock;
+    pfd.events = POLLOUT;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, connect_timeout_millis);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      Status st = ErrnoStatus("poll(connect)");
+      CloseFd(sock);
+      return st;
+    }
+    if (ready == 0) {
+      CloseFd(sock);
+      return Status::TimedOut("connect timed out", host);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      Status st = Status::IOError("connect", std::strerror(err != 0 ? err
+                                                                    : errno));
+      CloseFd(sock);
+      return st;
+    }
+  }
+  // Back to blocking for the caller's WriteFully/ReadFully discipline.
+  int flags = ::fcntl(sock, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(sock, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    Status st = ErrnoStatus("fcntl(clear O_NONBLOCK)");
     CloseFd(sock);
     return st;
   }
@@ -110,7 +167,9 @@ Status SetRecvTimeout(int fd, int millis) {
 
 Status WriteFully(int fd, const char* data, size_t n) {
   while (n > 0) {
-    ssize_t w = ::write(fd, data, n);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as an
+    // EPIPE Status, not a process-killing SIGPIPE.
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("write");
@@ -127,7 +186,7 @@ Status ReadFully(int fd, char* scratch, size_t n) {
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::IOError("read timed out");
+        return Status::TimedOut("read timed out");
       }
       return ErrnoStatus("read");
     }

@@ -15,8 +15,13 @@ namespace sealdb::net {
 Status ListenTcp(const std::string& host, uint16_t port, int backlog,
                  int* listen_fd, uint16_t* bound_port);
 
-// Blocking connect; enables TCP_NODELAY.
-Status ConnectTcp(const std::string& host, uint16_t port, int* fd);
+// Connect with a deadline: the socket is put in non-blocking mode for the
+// connect(2) itself so a black-holed address fails with Status::TimedOut
+// after `connect_timeout_millis` instead of hanging for the kernel's
+// SYN-retry eternity. 0 falls back to a plain blocking connect. The
+// returned fd is blocking; TCP_NODELAY is enabled.
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd,
+                  int connect_timeout_millis = 0);
 
 Status SetNonBlocking(int fd);
 Status SetNoDelay(int fd);
@@ -24,7 +29,8 @@ Status SetNoDelay(int fd);
 Status SetRecvTimeout(int fd, int millis);
 
 // Blocking full-buffer I/O for the client side. ReadFully fails with
-// IOError on EOF or timeout before `n` bytes arrive.
+// IOError on EOF and with TimedOut when a SO_RCVTIMEO deadline expires
+// before `n` bytes arrive.
 Status WriteFully(int fd, const char* data, size_t n);
 Status ReadFully(int fd, char* scratch, size_t n);
 

@@ -86,6 +86,8 @@ enum WireStatusCode : uint8_t {
   kWireInvalidArgument = 4,
   kWireIOError = 5,
   kWireNoSpace = 6,
+  kWireBusy = 7,
+  kWireTimedOut = 8,
 };
 
 uint8_t StatusToWireCode(const Status& s) {
@@ -96,6 +98,8 @@ uint8_t StatusToWireCode(const Status& s) {
   if (s.IsInvalidArgument()) return kWireInvalidArgument;
   if (s.IsIOError()) return kWireIOError;
   if (s.IsNoSpace()) return kWireNoSpace;
+  if (s.IsBusy()) return kWireBusy;
+  if (s.IsTimedOut()) return kWireTimedOut;
   return kWireIOError;
 }
 
@@ -115,6 +119,10 @@ Status WireCodeToStatus(uint8_t code, const Slice& msg) {
       return Status::IOError(msg);
     case kWireNoSpace:
       return Status::NoSpace(msg);
+    case kWireBusy:
+      return Status::Busy(msg);
+    case kWireTimedOut:
+      return Status::TimedOut(msg);
   }
   return Status::Corruption("unknown wire status code");
 }

@@ -15,7 +15,9 @@
 // (util/coding): length-prefixed slices and varints. Every response payload
 // begins with a status record (code byte + length-prefixed message) so
 // engine errors — NotFound, the read-only-degradation IOError, NoSpace —
-// travel to the client as typed errors, never as closed sockets.
+// and serving-layer errors — Busy (admission control rejected the
+// request), TimedOut (a server-side deadline elapsed) — travel to the
+// client as typed errors, never as closed sockets.
 #pragma once
 
 #include <cstdint>

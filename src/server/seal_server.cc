@@ -15,6 +15,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/presets.h"
@@ -48,6 +49,11 @@ struct Connection {
   size_t woff = 0;    // flushed prefix of wbuf
   bool close_after_flush = false;  // protocol error: flush, then close
   bool closed = false;             // fd closed; late responses are dropped
+  // Slow-client eviction: the response buffer blew past
+  // ServerOptions::max_response_buffer_bytes. The buffered bytes are
+  // already discarded; the loop closes the fd at the next opportunity,
+  // without waiting for in-flight requests (their late responses drop).
+  bool evicted = false;
   // Requests dispatched to the workers but not yet answered. Decremented
   // inside Respond() under `mu`, so "inflight == 0 and wbuf empty" can
   // never be observed between an op finishing and its response landing.
@@ -98,9 +104,18 @@ struct SealServer::Impl {
   std::condition_variable drain_cv_;
   std::deque<Request> read_tasks_;
   std::deque<Request> write_tasks_;
+  // Bytes of write payloads sitting in write_tasks_ (guarded by queue_mu_).
+  // The admission budget compares against this before enqueueing.
+  size_t queued_write_bytes_ = 0;
   bool write_leader_active_ = false;
   int executing_ = 0;
   bool workers_exit_ = false;
+
+  // Recently applied write request ids, newest at the back. A retried
+  // write whose ack was lost replays its OK instead of re-applying.
+  std::mutex dedup_mu_;
+  std::unordered_set<uint64_t> applied_write_ids_;
+  std::deque<uint64_t> applied_write_order_;
 
   // ---- lifecycle ----
   std::atomic<bool> started_{false};
@@ -125,6 +140,12 @@ struct SealServer::Impl {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_inflight_cap_{0};
+  std::atomic<uint64_t> rejected_stall_{0};
+  std::atomic<uint64_t> slow_client_evictions_{0};
+  std::atomic<uint64_t> dedup_replays_{0};
 
   void AdjustBuffered(int64_t delta) {
     buffer_bytes_.fetch_add(static_cast<uint64_t>(delta),
@@ -311,6 +332,11 @@ struct SealServer::Impl {
     for (;;) {
       int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) return;  // EAGAIN or transient error; epoll will retry
+      if (opts_.max_connections > 0 &&
+          conns_.size() >= static_cast<size_t>(opts_.max_connections)) {
+        RejectConnection(fd);
+        continue;
+      }
       (void)net::SetNonBlocking(fd);
       (void)net::SetNoDelay(fd);
       auto conn = std::make_shared<Connection>(fd);
@@ -319,6 +345,22 @@ struct SealServer::Impl {
       connections_accepted_.fetch_add(1, std::memory_order_relaxed);
       connections_active_.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+
+  // Over the connection cap: answer with one typed kBusy error frame (so
+  // the peer can back off and retry) and close. The fd is still blocking
+  // here; the single send either lands in the socket buffer immediately or
+  // the peer was never going to read it.
+  void RejectConnection(int fd) {
+    std::string payload;
+    net::EncodeStatusRecord(
+        &payload, Status::Busy("too many connections; retry later"));
+    std::string frame;
+    net::EncodeFrame(&frame, net::kOpError | net::kResponseBit,
+                     /*request_id=*/0, payload);
+    (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    net::CloseFd(fd);
+    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
   }
 
   void ReadAndDispatch(const ConnPtr& conn) {
@@ -419,17 +461,75 @@ struct SealServer::Impl {
       scans_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    // ---- admission control: shed excess load with typed kBusy errors
+    // before it consumes queue memory or a worker slot.
+    if (opts_.max_inflight_per_conn > 0 &&
+        conn->inflight.load(std::memory_order_relaxed) >=
+            opts_.max_inflight_per_conn) {
+      rejected_inflight_cap_.fetch_add(1, std::memory_order_relaxed);
+      RejectBusy(conn, header,
+                 Status::Busy("per-connection in-flight cap reached"));
+      return;
+    }
+    if (is_write && opts_.reject_writes_on_stall &&
+        db_->WriteStallLevel() >= 2) {
+      rejected_stall_.fetch_add(1, std::memory_order_relaxed);
+      RejectBusy(conn, header, Status::Busy("engine write stall"));
+      return;
+    }
+
     Request req;
     req.conn = conn;
     req.opcode = header.opcode;
     req.request_id = header.request_id;
     req.payload.assign(payload.data(), payload.size());
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    bool queue_full = false;
     {
       std::lock_guard<std::mutex> l(queue_mu_);
-      (is_write ? write_tasks_ : read_tasks_).push_back(std::move(req));
+      if (is_write && opts_.max_queued_write_bytes > 0 &&
+          queued_write_bytes_ > 0 &&
+          queued_write_bytes_ + req.payload.size() >
+              opts_.max_queued_write_bytes) {
+        // Byte-budgeted write queue: over budget, reject at the door. An
+        // empty queue always admits, so a single write larger than the
+        // whole budget cannot livelock its retries.
+        queue_full = true;
+      } else {
+        if (is_write) queued_write_bytes_ += req.payload.size();
+        (is_write ? write_tasks_ : read_tasks_).push_back(std::move(req));
+      }
+    }
+    if (queue_full) {
+      conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      RejectBusy(conn, header, Status::Busy("write queue over byte budget"));
+      return;
     }
     queue_cv_.notify_one();
+  }
+
+  // Answer a rejected request with an op-shaped payload carrying `busy`,
+  // so clients decode it exactly like any other typed per-request error.
+  void RejectBusy(const ConnPtr& conn, const net::FrameHeader& header,
+                  const Status& busy) {
+    std::string payload_out;
+    switch (static_cast<net::Op>(header.opcode)) {
+      case net::Op::kGet:
+        net::EncodeGetResponse(&payload_out, busy, Slice());
+        break;
+      case net::Op::kScan:
+        net::EncodeScanResponse(&payload_out, busy, {});
+        break;
+      case net::Op::kStats:
+        net::EncodeStatsResponse(&payload_out, busy, Slice());
+        break;
+      default:
+        net::EncodeStatusRecord(&payload_out, busy);
+        break;
+    }
+    Respond(conn, header.opcode | net::kResponseBit, header.request_id,
+            payload_out);
   }
 
   // Append one framed response to the connection and schedule a flush.
@@ -444,18 +544,35 @@ struct SealServer::Impl {
     std::string frame;
     net::EncodeFrame(&frame, opcode, request_id, payload);
     bool appended = false;
+    int64_t evicted_bytes = 0;
     {
       std::lock_guard<std::mutex> l(conn->mu);
       if (finish) conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-      if (!conn->closed) {
+      if (!conn->closed && !conn->evicted) {
         conn->wbuf.append(frame);
         if (close_after) conn->close_after_flush = true;
         appended = true;
+        // Slow-client eviction: the peer is not draining its responses.
+        // Discard the buffer (it will never be read at a useful rate) and
+        // have the loop close the fd, bounding per-connection memory.
+        if (opts_.max_response_buffer_bytes > 0 &&
+            conn->wbuf.size() - conn->woff > opts_.max_response_buffer_bytes) {
+          conn->evicted = true;
+          evicted_bytes =
+              static_cast<int64_t>(conn->wbuf.size() - conn->woff);
+          conn->wbuf.clear();
+          conn->woff = 0;
+        }
       }
     }
     if (!appended) return;
     AdjustBuffered(static_cast<int64_t>(frame.size()));
     bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
+    if (evicted_bytes > 0) {
+      // The eviction swallowed everything buffered, including this frame.
+      AdjustBuffered(-evicted_bytes);
+      slow_client_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> l(pending_mu_);
       pending_flush_.push_back(conn);
@@ -512,6 +629,9 @@ struct SealServer::Impl {
   bool ReadyToClose(const ConnPtr& conn) {
     std::lock_guard<std::mutex> l(conn->mu);
     if (conn->closed) return false;
+    // An evicted connection closes immediately: its buffer is already
+    // discarded and in-flight responses are dropped on arrival.
+    if (conn->evicted) return true;
     const bool buffered = conn->woff < conn->wbuf.size();
     if (conn->close_after_flush && !buffered &&
         conn->inflight.load(std::memory_order_relaxed) == 0) {
@@ -559,7 +679,9 @@ struct SealServer::Impl {
         while (!write_tasks_.empty() &&
                group.size() < opts_.max_batch_requests &&
                group_bytes < opts_.max_batch_bytes) {
-          group_bytes += write_tasks_.front().payload.size();
+          const size_t sz = write_tasks_.front().payload.size();
+          group_bytes += sz;
+          queued_write_bytes_ -= std::min(queued_write_bytes_, sz);
           group.push_back(std::move(write_tasks_.front()));
           write_tasks_.pop_front();
         }
@@ -589,12 +711,46 @@ struct SealServer::Impl {
     }
   }
 
+  // True if this write request id was applied recently enough to still be
+  // in the dedup window — the retry of a write whose ack got lost.
+  bool IsDuplicateWrite(uint64_t request_id) {
+    if (opts_.write_dedup_window == 0) return false;
+    std::lock_guard<std::mutex> l(dedup_mu_);
+    return applied_write_ids_.find(request_id) != applied_write_ids_.end();
+  }
+
+  void RecordAppliedWrites(const std::vector<Request>& group,
+                           const std::vector<bool>& included) {
+    if (opts_.write_dedup_window == 0) return;
+    std::lock_guard<std::mutex> l(dedup_mu_);
+    for (size_t i = 0; i < group.size(); i++) {
+      if (!included[i]) continue;
+      if (applied_write_ids_.insert(group[i].request_id).second) {
+        applied_write_order_.push_back(group[i].request_id);
+      }
+    }
+    while (applied_write_order_.size() > opts_.write_dedup_window) {
+      applied_write_ids_.erase(applied_write_order_.front());
+      applied_write_order_.pop_front();
+    }
+  }
+
   void RunWriteGroup(std::vector<Request>& group) {
     WriteBatch combined;
     std::vector<bool> included(group.size(), false);
     int included_count = 0;
     for (size_t i = 0; i < group.size(); i++) {
       const Request& req = group[i];
+      if (IsDuplicateWrite(req.request_id)) {
+        // Already applied; the client just never saw the ack. Replay OK
+        // without touching the engine so the retry is exactly-once.
+        dedup_replays_.fetch_add(1, std::memory_order_relaxed);
+        std::string payload_out;
+        net::EncodeStatusRecord(&payload_out, Status::OK());
+        Respond(req.conn, req.opcode | net::kResponseBit, req.request_id,
+                payload_out, /*close_after=*/false, /*finish=*/true);
+        continue;
+      }
       Slice key, value;
       bool ok = false;
       switch (static_cast<net::Op>(req.opcode)) {
@@ -634,6 +790,7 @@ struct SealServer::Impl {
       s = db_->Write(wo, &combined);
       write_groups_.fetch_add(1, std::memory_order_relaxed);
       batched_writes_.fetch_add(included_count, std::memory_order_relaxed);
+      if (s.ok()) RecordAppliedWrites(group, included);
     }
     // Group commit is all-or-nothing: every member shares the outcome.
     std::string payload_out;
@@ -732,19 +889,28 @@ struct SealServer::Impl {
           d.physical_bytes_read / 1048576.0, d.awa());
       text.append(buf);
     }
-    char buf[512];
+    char buf[768];
+    const uint64_t rej_queue =
+        rejected_queue_full_.load(std::memory_order_relaxed);
+    const uint64_t rej_inflight =
+        rejected_inflight_cap_.load(std::memory_order_relaxed);
+    const uint64_t rej_stall = rejected_stall_.load(std::memory_order_relaxed);
     std::snprintf(
         buf, sizeof(buf),
         "-- server --\n"
-        "connections: %llu active / %llu accepted\n"
+        "connections: %llu active / %llu accepted / %llu rejected\n"
         "requests: %llu (gets %llu, writes %llu, scans %llu)\n"
         "group commit: %llu groups for %llu writes\n"
         "bytes in/out: %llu / %llu, connection buffers: %llu bytes\n"
-        "protocol errors: %llu\n",
+        "protocol errors: %llu\n"
+        "busy rejections: %llu (queue %llu, inflight %llu, stall %llu)\n"
+        "slow-client evictions: %llu, dedup replays: %llu\n",
         static_cast<unsigned long long>(
             connections_active_.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             connections_accepted_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            connections_rejected_.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             requests_.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(gets_.load(std::memory_order_relaxed)),
@@ -762,7 +928,15 @@ struct SealServer::Impl {
         static_cast<unsigned long long>(
             buffer_bytes_.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
-            protocol_errors_.load(std::memory_order_relaxed)));
+            protocol_errors_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(rej_queue + rej_inflight + rej_stall),
+        static_cast<unsigned long long>(rej_queue),
+        static_cast<unsigned long long>(rej_inflight),
+        static_cast<unsigned long long>(rej_stall),
+        static_cast<unsigned long long>(
+            slow_client_evictions_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            dedup_replays_.load(std::memory_order_relaxed)));
     text.append(buf);
     return text;
   }
@@ -838,6 +1012,16 @@ ServerStats SealServer::stats() const {
       impl_->protocol_errors_.load(std::memory_order_relaxed);
   out.bytes_in = impl_->bytes_in_.load(std::memory_order_relaxed);
   out.bytes_out = impl_->bytes_out_.load(std::memory_order_relaxed);
+  out.connections_rejected =
+      impl_->connections_rejected_.load(std::memory_order_relaxed);
+  out.rejected_queue_full =
+      impl_->rejected_queue_full_.load(std::memory_order_relaxed);
+  out.rejected_inflight_cap =
+      impl_->rejected_inflight_cap_.load(std::memory_order_relaxed);
+  out.rejected_stall = impl_->rejected_stall_.load(std::memory_order_relaxed);
+  out.slow_client_evictions =
+      impl_->slow_client_evictions_.load(std::memory_order_relaxed);
+  out.dedup_replays = impl_->dedup_replays_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -56,6 +56,34 @@ struct ServerOptions {
   // How long Stop() keeps flushing response buffers to peers that have
   // stopped reading before force-closing them.
   int drain_deadline_millis = 5000;
+
+  // ---- admission control (DESIGN.md §11) ----
+  // Connection cap; 0 = unlimited. A connection beyond the cap is
+  // accepted, answered with a single kBusy error frame, and closed, so
+  // clients see a typed rejection instead of a SYN backlog black hole.
+  int max_connections = 0;
+  // Per-connection cap on dispatched-but-unanswered requests. Excess
+  // requests (read or write) are rejected with kBusy; 0 = unlimited. The
+  // default is sized well above any sane pipelining depth.
+  uint32_t max_inflight_per_conn = 4096;
+  // Byte budget for write payloads queued for group commit across all
+  // connections. A write that would exceed it is rejected with kBusy
+  // instead of growing the queue without bound; 0 = unlimited.
+  size_t max_queued_write_bytes = 4u << 20;
+  // Slow-client response-buffer cap: a connection whose un-flushed
+  // response bytes exceed this has its buffer discarded and is closed
+  // (eviction), bounding memory against peers that stop reading. 0 =
+  // unlimited.
+  size_t max_response_buffer_bytes = 16u << 20;
+  // While the engine reports write-stall level 2 ("stop": the next write
+  // would park inside MakeRoomForWrite), reject writes with kBusy at the
+  // door instead of letting a worker block while holding a pool slot.
+  bool reject_writes_on_stall = true;
+  // Request ids of the most recently applied writes are remembered; a
+  // duplicate resubmission (a client retrying a write whose ack was lost)
+  // is acked OK without re-applying, so a retry never double-applies a
+  // batch. 0 disables the window.
+  size_t write_dedup_window = 4096;
 };
 
 struct ServerStats {
@@ -70,6 +98,18 @@ struct ServerStats {
   uint64_t protocol_errors = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+
+  // ---- overload protection ----
+  uint64_t connections_rejected = 0;   // over max_connections
+  uint64_t rejected_queue_full = 0;    // write-queue byte budget exhausted
+  uint64_t rejected_inflight_cap = 0;  // per-connection in-flight cap
+  uint64_t rejected_stall = 0;         // engine write-stall backpressure
+  uint64_t slow_client_evictions = 0;  // response buffer over cap
+  uint64_t dedup_replays = 0;          // retried writes acked without re-apply
+
+  uint64_t busy_rejections() const {
+    return rejected_queue_full + rejected_inflight_cap + rejected_stall;
+  }
 };
 
 class SealServer {

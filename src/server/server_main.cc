@@ -3,6 +3,9 @@
 //
 //   sealdb_server [--host H] [--port P] [--system sealdb|smrdb|leveldb]
 //                 [--scale N] [--workers N] [--sync] [--fault-injection]
+//                 [--max-connections N] [--max-inflight N]
+//                 [--max-queued-write-bytes N] [--max-response-buffer-bytes N]
+//                 [--no-stall-rejection]
 //
 // Runs until SIGINT/SIGTERM, then drains in-flight requests, flushes
 // responses, and closes the DB cleanly.
@@ -34,7 +37,17 @@ void Usage(const char* argv0) {
       "  --scale N           shrink all size constants by N (default 64)\n"
       "  --workers N         request worker threads (default 4)\n"
       "  --sync              fsync the WAL before acking writes\n"
-      "  --fault-injection   wrap the drive in FaultInjectionDrive\n",
+      "  --fault-injection   wrap the drive in FaultInjectionDrive\n"
+      "  --max-connections N   reject connections beyond N with Busy "
+      "(default 0 = unlimited)\n"
+      "  --max-inflight N      per-connection in-flight request cap "
+      "(default 4096; 0 = unlimited)\n"
+      "  --max-queued-write-bytes N    write-queue byte budget "
+      "(default 4 MiB; 0 = unlimited)\n"
+      "  --max-response-buffer-bytes N slow-client eviction threshold "
+      "(default 16 MiB; 0 = unlimited)\n"
+      "  --no-stall-rejection  queue writes during engine write stalls "
+      "instead of rejecting with Busy\n",
       argv0);
 }
 
@@ -51,6 +64,7 @@ int main(int argc, char** argv) {
   int workers = 4;
   bool sync_writes = false;
   bool fault_injection = false;
+  sealdb::server::ServerOptions opts;  // admission-control defaults
 
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
@@ -85,6 +99,19 @@ int main(int argc, char** argv) {
       sync_writes = true;
     } else if (arg == "--fault-injection") {
       fault_injection = true;
+    } else if (arg == "--max-connections") {
+      opts.max_connections = std::atoi(next("--max-connections"));
+    } else if (arg == "--max-inflight") {
+      opts.max_inflight_per_conn =
+          static_cast<uint32_t>(std::atoll(next("--max-inflight")));
+    } else if (arg == "--max-queued-write-bytes") {
+      opts.max_queued_write_bytes =
+          static_cast<size_t>(std::atoll(next("--max-queued-write-bytes")));
+    } else if (arg == "--max-response-buffer-bytes") {
+      opts.max_response_buffer_bytes = static_cast<size_t>(
+          std::atoll(next("--max-response-buffer-bytes")));
+    } else if (arg == "--no-stall-rejection") {
+      opts.reject_writes_on_stall = false;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -111,7 +138,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  sealdb::server::ServerOptions opts;
   opts.host = host;
   opts.port = port;
   opts.num_workers = workers;
@@ -139,11 +165,12 @@ int main(int argc, char** argv) {
   const sealdb::server::ServerStats st = server.stats();
   std::printf(
       "sealdb_server: served %llu requests (%llu writes in %llu groups), "
-      "%llu connections\n",
+      "%llu connections, %llu busy rejections\n",
       static_cast<unsigned long long>(st.requests),
       static_cast<unsigned long long>(st.batched_writes),
       static_cast<unsigned long long>(st.write_groups),
-      static_cast<unsigned long long>(st.connections_accepted));
+      static_cast<unsigned long long>(st.connections_accepted),
+      static_cast<unsigned long long>(st.busy_rejections()));
   stack->db()->WaitForIdle();
   stack.reset();  // closes the DB after the drain
   return 0;

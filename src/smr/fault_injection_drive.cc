@@ -1,6 +1,8 @@
 #include "smr/fault_injection_drive.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace sealdb::smr {
 
@@ -98,6 +100,10 @@ Status FaultInjectionDrive::Read(uint64_t offset, uint64_t n, char* scratch) {
 }
 
 Status FaultInjectionDrive::Write(uint64_t offset, const Slice& data) {
+  const uint64_t delay = write_delay_micros_.load(std::memory_order_relaxed);
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
   if (crashed_) {
     write_errors_++;
     return Status::IOError("fault injection: drive powered off");

@@ -20,6 +20,7 @@
 // crashes) so benches and tests can account for them.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 
@@ -53,6 +54,14 @@ class FaultInjectionDrive final : public Drive {
   // Tear the next write: persist only its first `keep_blocks` blocks, then
   // return an error. One-shot.
   void TearNextWrite(uint64_t keep_blocks);
+
+  // Sleep this long (wall clock) inside every Write(), modelling a slow or
+  // congested device so flush/compaction backlogs — and therefore engine
+  // write stalls — become observable in tests. 0 disables. Thread-safe;
+  // may be changed while I/O is in flight.
+  void SetWriteDelayMicros(uint64_t micros) {
+    write_delay_micros_.store(micros, std::memory_order_relaxed);
+  }
 
   // Power off after `n` more successfully written blocks. The write that
   // crosses the budget persists only the blocks before the cut. Once
@@ -102,6 +111,8 @@ class FaultInjectionDrive final : public Drive {
 
   bool tear_next_write_ = false;
   uint64_t tear_keep_blocks_ = 0;
+
+  std::atomic<uint64_t> write_delay_micros_{0};
 
   int64_t crash_after_blocks_ = -1;  // <0 = no crash point armed
   bool crashed_ = false;

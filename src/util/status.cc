@@ -37,6 +37,12 @@ std::string Status::ToString() const {
     case kNoSpace:
       type = "No space: ";
       break;
+    case kBusy:
+      type = "Busy: ";
+      break;
+    case kTimedOut:
+      type = "Timed out: ";
+      break;
     default:
       type = "Unknown code: ";
       break;

@@ -32,6 +32,16 @@ class Status {
   static Status NoSpace(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(kNoSpace, msg, msg2);
   }
+  // Transient overload: the operation was rejected before doing any work
+  // (admission control, full queues). Safe to retry after backing off.
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+  // A deadline elapsed before the operation completed. The outcome of the
+  // underlying work is unknown unless stated otherwise.
+  static Status TimedOut(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kTimedOut, msg, msg2);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == kNotFound; }
@@ -40,6 +50,8 @@ class Status {
   bool IsNotSupported() const { return code() == kNotSupported; }
   bool IsInvalidArgument() const { return code() == kInvalidArgument; }
   bool IsNoSpace() const { return code() == kNoSpace; }
+  bool IsBusy() const { return code() == kBusy; }
+  bool IsTimedOut() const { return code() == kTimedOut; }
 
   std::string ToString() const;
 
@@ -58,6 +70,8 @@ class Status {
     kInvalidArgument = 4,
     kIOError = 5,
     kNoSpace = 6,
+    kBusy = 7,
+    kTimedOut = 8,
   };
 
   struct Rep {

@@ -365,6 +365,49 @@ TEST_P(DBTest, DestroyRemovesFiles) {
   EXPECT_EQ("NOT_FOUND", Get("zzz-missing"));
 }
 
+// Write stalls engage when a slowed device lets L0 files pile past the
+// lowered triggers, are visible in DbStats and through DB::WriteStallLevel
+// (the hook the serving layer polls for door-level backpressure), and
+// release once the device heals and compactions catch up.
+TEST(WriteStallTest, SlowDeviceEngagesAndReleasesStall) {
+  StackConfig config = TinyConfig(SystemKind::kSEALDB);
+  config.fault_injection = true;
+  config.inline_compactions = false;
+  config.level0_slowdown_writes_trigger = 2;
+  config.level0_stop_writes_trigger = 4;
+  std::unique_ptr<Stack> stack;
+  ASSERT_TRUE(BuildStack(config, "/stall", &stack).ok());
+  DB* db = stack->db();
+  ASSERT_EQ(db->WriteStallLevel(), 0);
+
+  // Congest the device: every drive write sleeps, so flushes and L0
+  // compactions fall behind the foreground write rate.
+  stack->fault_drive()->SetWriteDelayMicros(500);
+  int max_level = 0;
+  Random rnd(42);
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), Key(rnd.Uniform(8000)), Value(i)).ok());
+    const int level = db->WriteStallLevel();
+    if (level > max_level) max_level = level;
+  }
+  const DbStats mid = db->GetDbStats();
+  EXPECT_GE(max_level, 1);
+  EXPECT_GT(mid.write_stall_slowdowns + mid.write_stall_stops, 0u);
+
+  // Device healed: the backlog drains and the stall releases.
+  stack->fault_drive()->SetWriteDelayMicros(0);
+  db->WaitForIdle();
+  db->CompactRange(nullptr, nullptr);
+  db->WaitForIdle();
+  EXPECT_EQ(db->WriteStallLevel(), 0);
+  // Writes admitted after the episode behave normally.
+  ASSERT_TRUE(db->Put(WriteOptions(), "post-stall", "v").ok());
+  std::string v;
+  EXPECT_TRUE(db->Get(ReadOptions(), "post-stall", &v).ok());
+  EXPECT_EQ(v, "v");
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Systems, DBTest,
     ::testing::Values(SystemKind::kLevelDB, SystemKind::kLevelDBWithSets,
