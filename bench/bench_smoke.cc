@@ -79,7 +79,21 @@ struct ConfigResult {
   double busy_seconds = 0.0;
   uint64_t max_parallel_compactions = 0;
   uint64_t num_compactions = 0;
+  double wa = 0.0;   // engine write amplification
+  double awa = 0.0;  // device auxiliary write amplification
+  uint64_t guard_violations = 0;
 };
+
+// Sum a counter family across all its label sets (e.g. the per-level
+// sealdb_engine_compactions_total series).
+uint64_t SumCounterFamily(const std::vector<obs::MetricSample>& samples,
+                          const std::string& name) {
+  uint64_t total = 0;
+  for (const obs::MetricSample& s : samples) {
+    if (s.name == name) total += static_cast<uint64_t>(s.value);
+  }
+  return total;
+}
 
 ConfigResult RunConfig(const BenchParams& params, const std::string& label,
                        int workers, bool executor_features,
@@ -162,13 +176,21 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
     FillPercentiles(lat, &out.read);
   }
 
-  const smr::DeviceStats dev = stack->device_stats();
-  out.seek_seconds = dev.position_seconds;
-  out.transfer_seconds = dev.busy_seconds - dev.position_seconds;
-  out.busy_seconds = dev.busy_seconds;
-  const DbStats db_stats = db->GetDbStats();
-  out.max_parallel_compactions = db_stats.max_parallel_compactions;
-  out.num_compactions = db_stats.num_compactions;
+  // Final figures come straight from the stack's metrics registry — the
+  // same counters the METRICS opcode and sealdb.stats render, so the
+  // bench JSON cannot drift from the live exposition.
+  const obs::MetricsRegistry& reg = *stack->metrics_registry();
+  out.busy_seconds = reg.time_value("sealdb_device_busy_seconds_total");
+  out.seek_seconds = reg.time_value("sealdb_device_position_seconds_total");
+  out.transfer_seconds = out.busy_seconds - out.seek_seconds;
+  out.max_parallel_compactions = static_cast<uint64_t>(
+      reg.gauge_value("sealdb_engine_max_parallel_compactions"));
+  out.wa = reg.gauge_value("sealdb_engine_write_amplification");
+  out.awa = reg.gauge_value("sealdb_device_aux_write_amplification");
+  out.guard_violations =
+      reg.counter_value("sealdb_smr_guard_violations_total");
+  out.num_compactions =
+      SumCounterFamily(reg.Snapshot(), "sealdb_engine_compactions_total");
   return out;
 }
 
@@ -195,9 +217,12 @@ void EmitConfig(std::FILE* f, const ConfigResult& r, bool trailing_comma) {
   std::fprintf(f,
                "    \"device\": {\"busy_seconds\": %.4f, "
                "\"seek_seconds\": %.4f, \"transfer_seconds\": %.4f},\n"
+               "    \"wa\": %.3f,\n    \"awa\": %.3f,\n"
+               "    \"guard_violations\": %llu,\n"
                "    \"num_compactions\": %llu,\n"
                "    \"max_parallel_compactions\": %llu\n  }%s\n",
-               r.busy_seconds, r.seek_seconds, r.transfer_seconds,
+               r.busy_seconds, r.seek_seconds, r.transfer_seconds, r.wa,
+               r.awa, static_cast<unsigned long long>(r.guard_violations),
                static_cast<unsigned long long>(r.num_compactions),
                static_cast<unsigned long long>(r.max_parallel_compactions),
                trailing_comma ? "," : "");

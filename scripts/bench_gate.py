@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for BENCH_smoke.json.
+
+Compares the device-currency sustained throughput of a fresh bench run
+against a committed baseline and fails when any configuration regresses
+by more than the threshold. "Device currency" means ops per simulated
+drive-busy second, which is deterministic enough to gate on in CI —
+wall-clock numbers from shared runners are reported but never gated.
+
+Multiple CURRENT files may be given (best-of-N): each configuration is
+judged on its best run, so a regression only fails the gate when it
+reproduces in every run — scheduling noise in the parallel-compaction
+config does not.
+
+Usage:
+  scripts/bench_gate.py CURRENT.json [MORE.json ...]
+                        [--baseline bench/baseline_smoke.json]
+                        [--threshold 0.15]
+  scripts/bench_gate.py --selftest
+
+Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def sustained_device_ops(config):
+    """ops per simulated device-busy second across the fill+read cycle."""
+    ops = config["fill"]["ops"] + config["read"]["ops"]
+    dev = config["fill"]["device_seconds"] + config["read"]["device_seconds"]
+    return ops / dev if dev > 0 else 0.0
+
+
+def gate(baseline, currents, threshold):
+    """Returns (ok, report_lines). Compares every config label in the
+    baseline against its best showing across the current runs; a label
+    missing from every current run is itself a failure (a silently
+    dropped configuration must not pass the gate)."""
+    if isinstance(currents, dict):
+        currents = [currents]
+    base_by_label = {c["label"]: c for c in baseline.get("configs", [])}
+    cur_by_label = {}
+    for current in currents:
+        for c in current.get("configs", []):
+            best = cur_by_label.get(c["label"])
+            if best is None or (sustained_device_ops(c) >
+                                sustained_device_ops(best)):
+                cur_by_label[c["label"]] = c
+    lines = []
+    ok = True
+    for label, base_cfg in sorted(base_by_label.items()):
+        if label not in cur_by_label:
+            lines.append(f"FAIL {label}: missing from current run")
+            ok = False
+            continue
+        base_ops = sustained_device_ops(base_cfg)
+        cur_ops = sustained_device_ops(cur_by_label[label])
+        if base_ops <= 0:
+            lines.append(f"SKIP {label}: baseline has no device time")
+            continue
+        delta = (cur_ops - base_ops) / base_ops
+        verdict = "FAIL" if delta < -threshold else "ok  "
+        if delta < -threshold:
+            ok = False
+        lines.append(
+            f"{verdict} {label}: sustained device ops/s "
+            f"{cur_ops:.1f} vs baseline {base_ops:.1f} "
+            f"({delta:+.1%}, threshold -{threshold:.0%})"
+        )
+    if not base_by_label:
+        lines.append("FAIL baseline has no configs")
+        ok = False
+    return ok, lines
+
+
+def synthetic(scale):
+    """A minimal bench document whose sustained device ops/s is 1000*scale."""
+    phase = {"ops": 500 * scale, "device_seconds": 0.5}
+    return {"configs": [{"label": "executor-4w", "fill": phase,
+                         "read": {"ops": 500 * scale, "device_seconds": 0.5}}]}
+
+
+def selftest():
+    """The gate itself is load-bearing CI logic, so prove the failure mode:
+    a synthetic 20% regression must fail at the default 15% threshold, a
+    10% one must pass, and a missing config must fail."""
+    base = synthetic(1.0)
+    ok, _ = gate(base, synthetic(0.80), 0.15)
+    assert not ok, "20% regression must fail the 15% gate"
+    ok, _ = gate(base, synthetic(0.90), 0.15)
+    assert ok, "10% regression must pass the 15% gate"
+    ok, _ = gate(base, synthetic(1.30), 0.15)
+    assert ok, "improvement must pass"
+    ok, _ = gate(base, {"configs": []}, 0.15)
+    assert not ok, "dropped config must fail"
+    ok, _ = gate({"configs": []}, synthetic(1.0), 0.15)
+    assert not ok, "empty baseline must fail"
+    # Best-of-N: one noisy bad run must not fail when another run is fine,
+    # but a regression present in every run must.
+    ok, _ = gate(base, [synthetic(0.80), synthetic(0.98)], 0.15)
+    assert ok, "regression not reproduced across runs must pass"
+    ok, _ = gate(base, [synthetic(0.80), synthetic(0.79)], 0.15)
+    assert not ok, "regression reproduced in every run must fail"
+    print("bench_gate selftest: ok")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="*",
+                        help="fresh BENCH_smoke.json (repeat for best-of-N)")
+    parser.add_argument("--baseline", default="bench/baseline_smoke.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional regression (0.15 = 15%%)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the gate fails a synthetic regression")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.current:
+        parser.error("CURRENT.json is required unless --selftest")
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        currents = []
+        for path in args.current:
+            with open(path) as f:
+                currents.append(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: {e}", file=sys.stderr)
+        return 2
+
+    ok, lines = gate(baseline, currents, args.threshold)
+    for line in lines:
+        print(line)
+    if not ok:
+        print("bench_gate: regression beyond threshold "
+              "(refresh bench/baseline_smoke.json only with a justified "
+              "perf change)", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,22 +9,29 @@
 # the slow-client eviction path, where a lifetime bug would otherwise
 # hide behind the allocator.
 #
-# Usage: scripts/check.sh [--fast] [--filter <regex>]
+# Usage: scripts/check.sh [--fast] [--filter <regex>] [--bench]
 #   --fast            sanitizer configs run only the stress-labelled
 #                     tests instead of the full suite (the full
 #                     default-config suite always runs).
 #   --filter <regex>  only run ctest tests matching <regex> (passed as
-#                     ctest -R) in both configurations; the stress-repeat
-#                     pass is scoped to the same regex.
+#                     ctest -R) in every configuration. A regex that
+#                     matches no tests is an error (--no-tests=error), so
+#                     a typo'd filter fails fast instead of reporting a
+#                     vacuous green run across all three configs.
+#   --bench           after the default-config suite, run bench_smoke and
+#                     gate its device-currency throughput against
+#                     bench/baseline_smoke.json (scripts/bench_gate.py).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FAST=0
 FILTER=""
+BENCH=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --fast) FAST=1 ;;
+    --bench) BENCH=1 ;;
     --filter)
       if [ $# -lt 2 ]; then
         echo "check.sh: --filter requires a regex argument" >&2
@@ -57,14 +64,32 @@ fi
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 CTEST_ARGS=(--output-on-failure)
+STRICT_ARGS=()
 if [ -n "$FILTER" ]; then
   CTEST_ARGS+=(-R "$FILTER")
+  # A typo'd filter matches zero tests, and a zero-test run exits 0 —
+  # three vacuously green configurations later the typo would still be
+  # invisible. Full-suite legs therefore treat "no tests matched" as an
+  # error. The `-L stress` repeat legs stay lenient: a valid filter that
+  # selects only non-stress tests legitimately matches nothing there.
+  STRICT_ARGS+=(--no-tests=error)
 fi
 
 echo "== default configuration =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build "${CTEST_ARGS[@]}" -j "$JOBS"
+ctest --test-dir build "${CTEST_ARGS[@]}" "${STRICT_ARGS[@]}" -j "$JOBS"
+
+if [ "$BENCH" = 1 ]; then
+  echo
+  echo "== bench regression gate =="
+  python3 scripts/bench_gate.py --selftest
+  # Two runs, best-of: the parallel-compaction config has scheduling
+  # noise, so a regression only fails when it reproduces in both.
+  (cd build && ./bench/bench_smoke --out=BENCH_smoke.json)
+  (cd build && ./bench/bench_smoke --out=BENCH_smoke.2.json)
+  python3 scripts/bench_gate.py build/BENCH_smoke.json build/BENCH_smoke.2.json
+fi
 
 echo
 echo "== thread sanitizer configuration =="
@@ -73,7 +98,7 @@ cmake --build build-tsan -j "$JOBS"
 if [ "$FAST" = 1 ]; then
   ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -L stress --repeat until-fail:3
 else
-  ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -j "$JOBS"
+  ctest --test-dir build-tsan "${CTEST_ARGS[@]}" "${STRICT_ARGS[@]}" -j "$JOBS"
   ctest --test-dir build-tsan "${CTEST_ARGS[@]}" -L stress --repeat until-fail:3
 fi
 
@@ -84,7 +109,7 @@ cmake --build build-asan -j "$JOBS"
 if [ "$FAST" = 1 ]; then
   ctest --test-dir build-asan "${CTEST_ARGS[@]}" -L stress
 else
-  ctest --test-dir build-asan "${CTEST_ARGS[@]}" -j "$JOBS"
+  ctest --test-dir build-asan "${CTEST_ARGS[@]}" "${STRICT_ARGS[@]}" -j "$JOBS"
 fi
 
 echo

@@ -50,12 +50,17 @@ smr::Geometry MakeGeometry(const StackConfig& config) {
   return geo;
 }
 
-Options MakeOptions(const StackConfig& config, const FilterPolicy* filter) {
+Options MakeOptions(const StackConfig& config, const FilterPolicy* filter,
+                    std::shared_ptr<obs::MetricsRegistry> registry) {
   Options opt;
   // Always allocate the external-memory counter so a serving layer built
   // on top of the stack (src/server) can account its connection buffers
   // into "sealdb.approximate-memory-usage" without reopening the DB.
   opt.external_memory_bytes = std::make_shared<std::atomic<uint64_t>>(0);
+  // One registry for the whole stack: engine, drive, allocator, and any
+  // server in front all publish into it, and Reopen() reuses it so the
+  // counters keep accumulating across restarts.
+  opt.metrics_registry = std::move(registry);
   opt.write_buffer_size = config.write_buffer_bytes;
   opt.max_file_size = config.sstable_bytes;
   opt.filter_policy = filter;
@@ -111,8 +116,9 @@ Options MakeOptions(const StackConfig& config, const FilterPolicy* filter) {
   return opt;
 }
 
-std::unique_ptr<smr::Drive> MakeDrive(const StackConfig& config,
-                                      smr::ShingledDisk** shingled_out) {
+std::unique_ptr<smr::Drive> MakeDrive(
+    const StackConfig& config, smr::ShingledDisk** shingled_out,
+    const std::shared_ptr<obs::MetricsRegistry>& registry) {
   const smr::Geometry geo = MakeGeometry(config);
   const smr::LatencyParams hdd =
       smr::LatencyParams::Hdd().TimeScaled(config.time_scale);
@@ -121,16 +127,16 @@ std::unique_ptr<smr::Drive> MakeDrive(const StackConfig& config,
   *shingled_out = nullptr;
   switch (config.kind) {
     case SystemKind::kLevelDBOnHdd:
-      return smr::NewHddDrive(geo, hdd);
+      return smr::NewHddDrive(geo, hdd, registry);
     case SystemKind::kLevelDB:
     case SystemKind::kLevelDBWithSets:
     case SystemKind::kSMRDB: {
       smr::FixedBandOptions fb;
       fb.band_bytes = config.band_bytes;
-      return smr::NewFixedBandDrive(geo, smr_params, fb);
+      return smr::NewFixedBandDrive(geo, smr_params, fb, registry);
     }
     case SystemKind::kSEALDB: {
-      auto disk = smr::NewShingledDisk(geo, smr_params);
+      auto disk = smr::NewShingledDisk(geo, smr_params, registry);
       *shingled_out = disk.get();
       return disk;
     }
@@ -140,7 +146,8 @@ std::unique_ptr<smr::Drive> MakeDrive(const StackConfig& config,
 
 std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
     const StackConfig& config, const smr::Geometry& geo,
-    core::DynamicBandAllocator** dyn_out) {
+    core::DynamicBandAllocator** dyn_out,
+    const std::shared_ptr<obs::MetricsRegistry>& registry) {
   *dyn_out = nullptr;
   const uint64_t base = geo.conventional_bytes;
   const uint64_t size = geo.capacity_bytes - base;
@@ -164,6 +171,7 @@ std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
       opt.track_bytes = geo.track_bytes;
       opt.guard_bytes = geo.guard_bytes();
       opt.class_unit = config.sstable_bytes;
+      opt.metrics_registry = registry;
       auto alloc = std::make_unique<core::DynamicBandAllocator>(opt);
       *dyn_out = alloc.get();
       return alloc;
@@ -193,7 +201,8 @@ Status Stack::Reopen() {
   if (fault_ != nullptr) fault_->ClearCrash();
 
   const smr::Geometry geo = MakeGeometry(config_);
-  allocator_ = MakeAllocator(config_, geo, &dyn_alloc_);
+  allocator_ =
+      MakeAllocator(config_, geo, &dyn_alloc_, options_.metrics_registry);
   store_ = std::make_unique<fs::FileStore>(drive_.get(), allocator_.get());
   Status s = store_->Recover();
   if (!s.ok()) return s;
@@ -212,20 +221,22 @@ Status BuildStack(const StackConfig& config, const std::string& name,
   if (config.bloom_bits_per_key > 0) {
     stack->filter_.reset(NewBloomFilterPolicy(config.bloom_bits_per_key));
   }
-  stack->options_ = MakeOptions(config, stack->filter_.get());
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  stack->options_ = MakeOptions(config, stack->filter_.get(), registry);
 
-  stack->drive_ = MakeDrive(config, &stack->shingled_);
+  stack->drive_ = MakeDrive(config, &stack->shingled_, registry);
   if (stack->drive_ == nullptr) {
     return Status::InvalidArgument("unknown system kind");
   }
   if (config.fault_injection) {
-    auto fault =
-        std::make_unique<smr::FaultInjectionDrive>(std::move(stack->drive_));
+    auto fault = std::make_unique<smr::FaultInjectionDrive>(
+        std::move(stack->drive_), registry);
     stack->fault_ = fault.get();
     stack->drive_ = std::move(fault);
   }
   const smr::Geometry geo = MakeGeometry(config);
-  stack->allocator_ = MakeAllocator(config, geo, &stack->dyn_alloc_);
+  stack->allocator_ =
+      MakeAllocator(config, geo, &stack->dyn_alloc_, registry);
   stack->store_ =
       std::make_unique<fs::FileStore>(stack->drive_.get(),
                                       stack->allocator_.get());

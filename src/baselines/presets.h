@@ -18,6 +18,7 @@
 #include "fs/ext4_allocator.h"
 #include "fs/file_store.h"
 #include "lsm/db.h"
+#include "obs/metrics.h"
 #include "smr/drive.h"
 #include "smr/fault_injection_drive.h"
 #include "util/filter_policy.h"
@@ -115,6 +116,13 @@ class Stack {
   // its per-connection buffer bytes here.
   const std::shared_ptr<std::atomic<uint64_t>>& external_memory_bytes() const {
     return options_.external_memory_bytes;
+  }
+
+  // The stack-wide metrics registry: engine, drive, allocator, and any
+  // server in front publish into this one instance, so a single Render()
+  // (or the METRICS opcode) covers the whole system. Survives Reopen().
+  const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const {
+    return options_.metrics_registry;
   }
 
   // Routed through the FileStore so the snapshot is taken under its mutex

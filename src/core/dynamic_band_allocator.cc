@@ -21,6 +21,56 @@ DynamicBandAllocator::DynamicBandAllocator(const DynamicBandOptions& opt)
   // Cap the array: regions beyond the last class all share it.
   num_classes_ = std::min(num_classes_, 1 << 20);
   classes_.resize(num_classes_);
+
+  if (opt_.metrics_registry != nullptr) {
+    obs::MetricsRegistry& r = *opt_.metrics_registry;
+    g_freelist_bytes_ = r.RegisterGauge("sealdb_band_freelist_bytes",
+                                        "Bytes held in the free-space list");
+    g_guard_bytes_ = r.RegisterGauge(
+        "sealdb_band_guard_bytes",
+        "Bytes dead as guard regions attached to allocations");
+    g_frontier_bytes_ = r.RegisterGauge(
+        "sealdb_band_frontier_bytes",
+        "Start of the residual (never banded) space, absolute offset");
+    for (int slot = 0; slot < kClassGaugeSlots; slot++) {
+      std::string cls = std::to_string(slot + 1);
+      if (slot == kClassGaugeSlots - 1) cls += "+";
+      g_class_regions_[slot] = r.RegisterGauge(
+          "sealdb_band_freelist_regions",
+          "Free regions per size class (class N holds regions of N or more "
+          "SSTable units)",
+          {{"class", cls}});
+    }
+    c_inserts_ = r.RegisterCounter(
+        "sealdb_band_alloc_total",
+        "Allocations served by inserting into freed space vs appending at "
+        "the frontier",
+        {{"kind", "insert"}});
+    c_appends_ = r.RegisterCounter(
+        "sealdb_band_alloc_total",
+        "Allocations served by inserting into freed space vs appending at "
+        "the frontier",
+        {{"kind", "append"}});
+    SyncMetrics();
+  }
+}
+
+void DynamicBandAllocator::SyncMetrics() {
+  if (g_freelist_bytes_ == nullptr) return;
+  g_freelist_bytes_->Set(static_cast<double>(free_bytes_));
+  g_guard_bytes_->Set(static_cast<double>(guard_attached_));
+  g_frontier_bytes_->Set(static_cast<double>(frontier_));
+  uint64_t counts[kClassGaugeSlots] = {};
+  for (int c : nonempty_classes_) {
+    counts[std::min(c, kClassGaugeSlots - 1)] += classes_[c].size();
+  }
+  for (int slot = 0; slot < kClassGaugeSlots; slot++) {
+    g_class_regions_[slot]->Set(static_cast<double>(counts[slot]));
+  }
+  c_inserts_->Add(inserts_ - synced_inserts_);
+  c_appends_->Add(appends_ - synced_appends_);
+  synced_inserts_ = inserts_;
+  synced_appends_ = appends_;
 }
 
 int DynamicBandAllocator::ClassOf(uint64_t size) const {
@@ -54,14 +104,18 @@ void DynamicBandAllocator::RemoveFreeRegion(
 }
 
 Status DynamicBandAllocator::Allocate(uint64_t size, fs::Extent* out) {
-  return AllocateImpl(size, /*force_guard=*/false, out);
+  Status s = AllocateImpl(size, /*force_guard=*/false, out);
+  SyncMetrics();
+  return s;
 }
 
 Status DynamicBandAllocator::AllocateGuarded(uint64_t size, fs::Extent* out) {
   // Append-mode files keep writing their extent long after later
   // allocations may land immediately behind it, so the shingle window
   // after the extent must stay dead for the extent's lifetime.
-  return AllocateImpl(size, /*force_guard=*/true, out);
+  Status s = AllocateImpl(size, /*force_guard=*/true, out);
+  SyncMetrics();
+  return s;
 }
 
 Status DynamicBandAllocator::AllocateNear(uint64_t size, uint64_t goal,
@@ -69,7 +123,9 @@ Status DynamicBandAllocator::AllocateNear(uint64_t size, uint64_t goal,
   // Dynamic bands place by free-list policy, not goal blocks; what matters
   // for a growing file is the guard (see header).
   (void)goal;
-  return AllocateImpl(size, /*force_guard=*/true, out);
+  Status s = AllocateImpl(size, /*force_guard=*/true, out);
+  SyncMetrics();
+  return s;
 }
 
 Status DynamicBandAllocator::AllocateImpl(uint64_t size, bool force_guard,
@@ -181,6 +237,7 @@ void DynamicBandAllocator::Free(const fs::Extent& e) {
   allocated_ -= e.length;
   guard_attached_ -= e.guard;
   ReleaseRange(e.offset, e.length + e.guard);
+  SyncMetrics();
 }
 
 void DynamicBandAllocator::Shrink(fs::Extent* e, uint64_t new_length) {
@@ -198,6 +255,7 @@ void DynamicBandAllocator::Shrink(fs::Extent* e, uint64_t new_length) {
     guard_attached_ -= e->guard;
     ReleaseRange(e->offset + e->length, e->guard);
     e->guard = 0;
+    SyncMetrics();
     return;
   }
   const uint64_t tail = e->length - keep + e->guard;
@@ -206,6 +264,7 @@ void DynamicBandAllocator::Shrink(fs::Extent* e, uint64_t new_length) {
   ReleaseRange(e->offset + keep, tail);
   e->length = keep;
   e->guard = 0;
+  SyncMetrics();
 }
 
 Status DynamicBandAllocator::Reserve(const fs::Extent& e) {

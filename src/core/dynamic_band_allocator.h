@@ -25,10 +25,12 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "fs/extent_allocator.h"
+#include "obs/metrics.h"
 
 namespace sealdb::core {
 
@@ -40,6 +42,9 @@ struct DynamicBandOptions {
   uint64_t guard_bytes = 4ull * 1024 * 1024;  // S_guard (4 MB in the paper)
   uint64_t class_unit = 4ull * 1024 * 1024;   // free-list class width
                                               // (one SSTable, 4 MB)
+  // When set, free-list health is published as sealdb_band_* metrics
+  // (refreshed after every mutation; the caller's lock orders them).
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
 };
 
 class DynamicBandAllocator final : public fs::ExtentAllocator {
@@ -112,6 +117,10 @@ class DynamicBandAllocator final : public fs::ExtentAllocator {
 
   void FinalizeReserves();
 
+  // Refresh the sealdb_band_* gauges from the plain fields; called at the
+  // end of every public mutator, under the caller's (FileStore's) lock.
+  void SyncMetrics();
+
   DynamicBandOptions opt_;
   int num_classes_;
 
@@ -128,6 +137,19 @@ class DynamicBandAllocator final : public fs::ExtentAllocator {
 
   bool finalized_ = true;
   std::vector<fs::Extent> pending_reserves_;
+
+  // sealdb_band_* metrics (null when no registry was supplied). Size-class
+  // occupancy is reported per class up to kClassGaugeSlots - 1; larger
+  // classes aggregate into the final "N+" slot.
+  static constexpr int kClassGaugeSlots = 17;
+  obs::Gauge* g_freelist_bytes_ = nullptr;
+  obs::Gauge* g_guard_bytes_ = nullptr;
+  obs::Gauge* g_frontier_bytes_ = nullptr;
+  obs::Gauge* g_class_regions_[kClassGaugeSlots] = {};
+  obs::Counter* c_inserts_ = nullptr;
+  obs::Counter* c_appends_ = nullptr;
+  uint64_t synced_inserts_ = 0;
+  uint64_t synced_appends_ = 0;
 };
 
 }  // namespace sealdb::core

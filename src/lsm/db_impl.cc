@@ -139,7 +139,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       reservations_(internal_comparator_.user_comparator()),
       versions_(std::make_unique<VersionSet>(dbname_, &options_, store_,
                                              table_cache_.get(),
-                                             &internal_comparator_)) {
+                                             &internal_comparator_)),
+      em_(options_.metrics_registry) {
   if (options_.compaction_unit == CompactionUnit::kSet) {
     set_manager_ = std::make_unique<core::SetManager>();
     versions_->SetSetInfoProvider(set_manager_.get());
@@ -578,8 +579,8 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
                   meta.largest, /*set_id=*/0);
   }
 
-  stats_.num_flushes++;
-  stats_.flush_bytes_written += meta.file_size;
+  em_.flushes->Inc();
+  em_.flush_bytes->Add(meta.file_size);
   return s;
 }
 
@@ -793,7 +794,7 @@ void DBImpl::BackgroundThreadMain() {
       Compaction* c = versions_->PickCompaction(&reservations_);
       const uint64_t ticket =
           (c != nullptr) ? reservations_.TryReserve(c) : 0;
-      stats_.compaction_pick_micros += NowMicros() - pick_start;
+      em_.pick_micros->AddMicros(NowMicros() - pick_start);
       if (c == nullptr) {
         // Every candidate conflicts with a running compaction (or the
         // trigger was stale). Cleared when state changes.
@@ -839,7 +840,7 @@ void DBImpl::BackgroundCompaction() {
 
   const uint64_t pick_start = NowMicros();
   Compaction* c = versions_->PickCompaction();
-  stats_.compaction_pick_micros += NowMicros() - pick_start;
+  em_.pick_micros->AddMicros(NowMicros() - pick_start);
   if (c != nullptr) {
     ExecuteCompaction(c);
   }
@@ -859,7 +860,7 @@ void DBImpl::ExecuteCompaction(Compaction* c) {
       RecordBackgroundError(status);
     }
     UpdateStallLevel();
-    stats_.num_compactions++;
+    em_.compactions_at(c->output_level())->Inc();
     if (record_events_) {
       CompactionEvent ev;
       ev.level = c->level();
@@ -1015,10 +1016,7 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   assert(compact->outfile == nullptr);
 
   compactions_in_flight_++;
-  if (static_cast<uint64_t>(compactions_in_flight_) >
-      stats_.max_parallel_compactions) {
-    stats_.max_parallel_compactions = compactions_in_flight_;
-  }
+  em_.max_parallel->SetMax(compactions_in_flight_);
   uint64_t read_micros = 0, merge_micros = 0, write_micros = 0;
 
   if (snapshots_.empty()) {
@@ -1194,18 +1192,21 @@ Status DBImpl::DoCompactionWork(CompactionState* compact) {
   mutex_.lock();
 
   const smr::DeviceStats device_delta = store_->device_stats() - device_before;
-  stats_.num_compactions++;
-  stats_.compaction_bytes_read += input_bytes;
-  stats_.compaction_bytes_written += compact->total_bytes;
-  stats_.compaction_device_seconds += device_delta.busy_seconds;
-  stats_.compaction_read_micros += read_micros;
-  stats_.compaction_merge_micros += merge_micros;
-  stats_.compaction_write_micros += write_micros;
+  const int out_level = compact->compaction->output_level();
+  em_.compactions_at(out_level)->Inc();
+  em_.compaction_read_bytes->Add(input_bytes);
+  em_.compaction_write_bytes->Add(compact->total_bytes);
+  em_.compaction_device->AddSeconds(device_delta.busy_seconds);
+  em_.read_micros->AddMicros(read_micros);
+  em_.merge_micros->AddMicros(merge_micros);
+  em_.write_micros->AddMicros(write_micros);
+  em_.compaction_micros_at(out_level)->AddMicros(read_micros + merge_micros +
+                                                 write_micros);
 
   if (status.ok()) {
     stage_start = NowMicros();
     status = InstallCompactionResults(compact);
-    stats_.compaction_install_micros += NowMicros() - stage_start;
+    em_.install_micros->AddMicros(NowMicros() - stage_start);
   }
   if (!status.ok()) {
     RecordBackgroundError(status);
@@ -1451,9 +1452,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
       }
       mutex_.lock();
-      stats_.wal_bytes_written += contents.size();
+      em_.wal_bytes->Add(contents.size());
       // Count only the user payload (keys + values) toward user bytes.
-      stats_.user_bytes_written += contents.size() - 12;
+      em_.user_bytes->Add(contents.size() - 12);
       if (wal_error) {
         // The state of the log file is indeterminate: the log record we
         // just added (or a chunk of an earlier buffered one) may or may
@@ -1556,7 +1557,7 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       // L0 files.  Rather than delaying a single write by several
       // seconds when we hit the hard limit, start compacting.
       allow_delay = false;  // Do not delay a single write more than once
-      stats_.write_stall_slowdowns++;
+      em_.stall_slowdowns->Inc();
       if (options_.inline_compactions) {
         MaybeScheduleCompaction();
       }
@@ -1568,26 +1569,26 @@ Status DBImpl::MakeRoomForWrite(bool force) {
     } else if (imm_ != nullptr) {
       // We have filled up the current memtable, but the previous
       // one is still being compacted, so we wait.
-      stats_.write_stall_stops++;
+      em_.stall_stops->Inc();
       if (options_.inline_compactions) {
         CompactMemTable();
       } else {
         MaybeScheduleCompaction();
         const uint64_t stall_start = NowMicros();
         background_work_finished_signal_.wait(mutex_);
-        stats_.write_stall_micros += NowMicros() - stall_start;
+        em_.stall_micros->AddMicros(NowMicros() - stall_start);
       }
     } else if (versions_->NumLevelFiles(0) >=
                options_.level0_stop_writes_trigger) {
       // There are too many level-0 files.
-      stats_.write_stall_stops++;
+      em_.stall_stops->Inc();
       if (options_.inline_compactions) {
         MaybeScheduleCompaction();
       } else {
         MaybeScheduleCompaction();
         const uint64_t stall_start = NowMicros();
         background_work_finished_signal_.wait(mutex_);
-        stats_.write_stall_micros += NowMicros() - stall_start;
+        em_.stall_micros->AddMicros(NowMicros() - stall_start);
       }
     } else {
       // Attempt to switch to a new memtable and trigger compaction of old
@@ -1628,6 +1629,7 @@ void DBImpl::UpdateStallLevel() {
     level = 1;
   }
   stall_level_.store(level, std::memory_order_relaxed);
+  em_.stall_level->Set(level);
 }
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
@@ -1653,6 +1655,9 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
         ok = false;
       }
     } else if (in == "stats") {
+      // Rendered from the metrics registry (the same counters METRICS
+      // exposes), not from a separate stats struct.
+      const DbStats st = em_.ToDbStats();
       char buf[800];
       std::snprintf(
           buf, sizeof(buf),
@@ -1664,21 +1669,21 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
           "max parallel compactions: %llu\n"
           "write stalls: %llu slowdowns, %llu stops, %llu micros parked "
           "(level now %d)\n",
-          static_cast<unsigned long long>(stats_.num_flushes),
-          static_cast<unsigned long long>(stats_.num_compactions),
-          stats_.user_bytes_written / 1048576.0,
-          stats_.flush_bytes_written / 1048576.0,
-          stats_.compaction_bytes_written / 1048576.0, stats_.wa(),
-          stats_.compaction_device_seconds,
-          static_cast<unsigned long long>(stats_.compaction_pick_micros),
-          static_cast<unsigned long long>(stats_.compaction_read_micros),
-          static_cast<unsigned long long>(stats_.compaction_merge_micros),
-          static_cast<unsigned long long>(stats_.compaction_write_micros),
-          static_cast<unsigned long long>(stats_.compaction_install_micros),
-          static_cast<unsigned long long>(stats_.max_parallel_compactions),
-          static_cast<unsigned long long>(stats_.write_stall_slowdowns),
-          static_cast<unsigned long long>(stats_.write_stall_stops),
-          static_cast<unsigned long long>(stats_.write_stall_micros),
+          static_cast<unsigned long long>(st.num_flushes),
+          static_cast<unsigned long long>(st.num_compactions),
+          st.user_bytes_written / 1048576.0,
+          st.flush_bytes_written / 1048576.0,
+          st.compaction_bytes_written / 1048576.0, st.wa(),
+          st.compaction_device_seconds,
+          static_cast<unsigned long long>(st.compaction_pick_micros),
+          static_cast<unsigned long long>(st.compaction_read_micros),
+          static_cast<unsigned long long>(st.compaction_merge_micros),
+          static_cast<unsigned long long>(st.compaction_write_micros),
+          static_cast<unsigned long long>(st.compaction_install_micros),
+          static_cast<unsigned long long>(st.max_parallel_compactions),
+          static_cast<unsigned long long>(st.write_stall_slowdowns),
+          static_cast<unsigned long long>(st.write_stall_stops),
+          static_cast<unsigned long long>(st.write_stall_micros),
           stall_level_.load(std::memory_order_relaxed));
       *value = buf;
       ok = true;
@@ -1735,10 +1740,8 @@ void DBImpl::WaitForIdle() {
 }
 
 DbStats DBImpl::GetDbStats() {
-  mutex_.lock();
-  DbStats s = stats_;
-  mutex_.unlock();
-  return s;
+  // Counters are atomics owned by the registry; no mutex needed.
+  return em_.ToDbStats();
 }
 
 std::vector<LiveFileMeta> DBImpl::GetLiveFilesMetadata() {

@@ -14,6 +14,7 @@
 
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
+#include "lsm/engine_metrics.h"
 #include "lsm/log_writer.h"
 #include "lsm/snapshot.h"
 #include "lsm/version_set.h"
@@ -222,8 +223,9 @@ class DBImpl : public DB {
   // SEALDB set bookkeeping (null unless compaction_unit == kSet).
   std::unique_ptr<core::SetManager> set_manager_;
 
-  // Stats and event recording, protected by mutex_.
-  DbStats stats_;
+  // Engine counters (sealdb_engine_* metrics; GetDbStats renders them).
+  EngineMetrics em_;
+  // Event recording, protected by mutex_.
   bool record_events_ = false;
   std::vector<CompactionEvent> events_;
 };

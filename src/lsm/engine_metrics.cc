@@ -1,0 +1,125 @@
+#include "lsm/engine_metrics.h"
+
+namespace sealdb {
+
+EngineMetrics::EngineMetrics(std::shared_ptr<obs::MetricsRegistry> registry)
+    : registry_(registry != nullptr
+                    ? std::move(registry)
+                    : std::make_shared<obs::MetricsRegistry>()) {
+  obs::MetricsRegistry& r = *registry_;
+  user_bytes = r.RegisterCounter("sealdb_engine_user_bytes_total",
+                                 "Key+value payload accepted from clients");
+  wal_bytes = r.RegisterCounter("sealdb_engine_wal_bytes_total",
+                                "Bytes appended to the write-ahead log");
+  flush_bytes = r.RegisterCounter("sealdb_engine_flush_bytes_total",
+                                  "Memtable flush output (L0 table bytes)");
+  flushes = r.RegisterCounter("sealdb_engine_flushes_total",
+                              "Memtable flushes completed");
+  compaction_read_bytes =
+      r.RegisterCounter("sealdb_engine_compaction_bytes_total",
+                        "Compaction traffic by direction", {{"dir", "read"}});
+  compaction_write_bytes =
+      r.RegisterCounter("sealdb_engine_compaction_bytes_total",
+                        "Compaction traffic by direction", {{"dir", "write"}});
+  compaction_device = r.RegisterTimeCounter(
+      "sealdb_engine_compaction_device_seconds_total",
+      "Simulated device busy time consumed by compactions");
+
+  const char* stage_help = "Compaction wall time by stage";
+  pick_micros = r.RegisterTimeCounter(
+      "sealdb_engine_compaction_stage_seconds_total", stage_help,
+      {{"stage", "pick"}});
+  read_micros = r.RegisterTimeCounter(
+      "sealdb_engine_compaction_stage_seconds_total", stage_help,
+      {{"stage", "read"}});
+  merge_micros = r.RegisterTimeCounter(
+      "sealdb_engine_compaction_stage_seconds_total", stage_help,
+      {{"stage", "merge"}});
+  write_micros = r.RegisterTimeCounter(
+      "sealdb_engine_compaction_stage_seconds_total", stage_help,
+      {{"stage", "write"}});
+  install_micros = r.RegisterTimeCounter(
+      "sealdb_engine_compaction_stage_seconds_total", stage_help,
+      {{"stage", "install"}});
+
+  stall_slowdowns = r.RegisterCounter(
+      "sealdb_engine_write_stall_events_total",
+      "Writes that hit the L0 slowdown/stop triggers",
+      {{"kind", "slowdown"}});
+  stall_stops = r.RegisterCounter(
+      "sealdb_engine_write_stall_events_total",
+      "Writes that hit the L0 slowdown/stop triggers", {{"kind", "stop"}});
+  stall_micros = r.RegisterTimeCounter(
+      "sealdb_engine_write_stall_seconds_total",
+      "Wall time writers spent parked in MakeRoomForWrite");
+
+  max_parallel = r.RegisterGauge(
+      "sealdb_engine_max_parallel_compactions",
+      "High-water mark of concurrently executing compactions");
+  stall_level = r.RegisterGauge(
+      "sealdb_engine_stall_level",
+      "Live write-stall state: 0 none, 1 slowdown, 2 stop");
+
+  for (int slot = 0; slot < kLevelSlots; slot++) {
+    std::string level = std::to_string(slot);
+    if (slot == kLevelSlots - 1) level += "+";
+    compactions_[slot] = r.RegisterCounter(
+        "sealdb_engine_compactions_total",
+        "Compactions by output level (trivial moves included)",
+        {{"level", level}});
+    level_micros_[slot] = r.RegisterTimeCounter(
+        "sealdb_engine_compaction_seconds_total",
+        "Compaction wall time by output level", {{"level", level}});
+  }
+
+  // WA is derived; refresh on snapshot. The hook captures only
+  // registry-owned counters, so it may outlive this EngineMetrics — but
+  // remove it anyway in the destructor to keep hook growth bounded when
+  // a DB inside one stack is closed and reopened many times.
+  obs::Gauge* wa = r.RegisterGauge(
+      "sealdb_engine_write_amplification",
+      "(flush + compaction write bytes) / user bytes (the paper's WA)");
+  obs::Counter* u = user_bytes;
+  obs::Counter* f = flush_bytes;
+  obs::Counter* c = compaction_write_bytes;
+  wa_hook_id_ = r.AddCollectHook([wa, u, f, c] {
+    const uint64_t user = u->Value();
+    wa->Set(user == 0 ? 1.0
+                      : static_cast<double>(f->Value() + c->Value()) /
+                            static_cast<double>(user));
+  });
+}
+
+EngineMetrics::~EngineMetrics() {
+  registry_->RemoveCollectHook(wa_hook_id_);
+}
+
+uint64_t EngineMetrics::total_compactions() const {
+  uint64_t n = 0;
+  for (const auto* c : compactions_) n += c->Value();
+  return n;
+}
+
+DbStats EngineMetrics::ToDbStats() const {
+  DbStats s;
+  s.user_bytes_written = user_bytes->Value();
+  s.wal_bytes_written = wal_bytes->Value();
+  s.flush_bytes_written = flush_bytes->Value();
+  s.compaction_bytes_read = compaction_read_bytes->Value();
+  s.compaction_bytes_written = compaction_write_bytes->Value();
+  s.num_compactions = total_compactions();
+  s.num_flushes = flushes->Value();
+  s.compaction_device_seconds = compaction_device->Seconds();
+  s.compaction_pick_micros = pick_micros->Micros();
+  s.compaction_read_micros = read_micros->Micros();
+  s.compaction_merge_micros = merge_micros->Micros();
+  s.compaction_write_micros = write_micros->Micros();
+  s.compaction_install_micros = install_micros->Micros();
+  s.max_parallel_compactions = static_cast<uint64_t>(max_parallel->Value());
+  s.write_stall_slowdowns = stall_slowdowns->Value();
+  s.write_stall_stops = stall_stops->Value();
+  s.write_stall_micros = stall_micros->Micros();
+  return s;
+}
+
+}  // namespace sealdb

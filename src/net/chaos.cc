@@ -160,7 +160,7 @@ struct ChaosTransport::Impl {
 
       char header[kFrameHeaderBytes];
       if (!ReadFully(src, header, sizeof(header)).ok()) break;
-      const uint32_t payload_len = DecodeFixed32(header + 12);
+      const uint32_t payload_len = DecodeFixed32(header + kPayloadLenOffset);
       const bool parses =
           static_cast<uint8_t>(header[0]) == kWireMagic0 &&
           static_cast<uint8_t>(header[1]) == kWireMagic1 &&

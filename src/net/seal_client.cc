@@ -37,12 +37,32 @@ uint64_t MakeSessionNonce() {
   return nonce;
 }
 
+// Trace ids are a bijective mix of the request id: unique per request,
+// never zero (zero means untraced on the wire), and decorrelated from the
+// id's incrementing low bits so the server's trace_id % N sampling does
+// not systematically hit one client's every-Nth operation pattern.
+uint64_t MakeTraceId(uint64_t request_id) {
+  uint64_t x = request_id * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  return x == 0 ? 1 : x;
+}
+
 }  // namespace
 
-SealClient::SealClient() {
+SealClient::SealClient()
+    : registry_(std::make_shared<obs::MetricsRegistry>()) {
   const uint64_t nonce = MakeSessionNonce();
   next_request_id_ = (nonce << 40) | 1;
   jitter_rng_ = Random(static_cast<uint32_t>(nonce));
+  c_retries_ = registry_->RegisterCounter("sealdb_client_retries_total",
+                                          "Attempts after the first");
+  c_reconnects_ = registry_->RegisterCounter(
+      "sealdb_client_reconnects_total", "Successful automatic reconnects");
+  c_busy_ = registry_->RegisterCounter(
+      "sealdb_client_busy_responses_total",
+      "Busy rejections observed, including retried ones");
+  c_timeouts_ = registry_->RegisterCounter("sealdb_client_timeouts_total",
+                                           "Attempts that timed out");
 }
 
 SealClient::~SealClient() { Close(); }
@@ -88,8 +108,17 @@ Status SealClient::Reconnect() {
       return s;
     }
   }
-  stats_.reconnects++;
+  c_reconnects_->Inc();
   return Status::OK();
+}
+
+ClientStats SealClient::stats() const {
+  ClientStats s;
+  s.retries = c_retries_->Value();
+  s.reconnects = c_reconnects_->Value();
+  s.busy_responses = c_busy_->Value();
+  s.timeouts = c_timeouts_->Value();
+  return s;
 }
 
 void SealClient::Close() {
@@ -102,9 +131,9 @@ void SealClient::Close() {
 }
 
 Status SealClient::SendFrame(uint8_t opcode, uint64_t request_id,
-                             const Slice& payload) {
+                             uint64_t trace_id, const Slice& payload) {
   std::string frame;
-  EncodeFrame(&frame, opcode, request_id, payload);
+  EncodeFrame(&frame, opcode, request_id, payload, trace_id);
   return WriteFully(fd_, frame.data(), frame.size());
 }
 
@@ -128,7 +157,7 @@ Status SealClient::ReadFrame(uint8_t* opcode, uint64_t* request_id,
     }
   }
   const size_t payload_len =
-      static_cast<size_t>(DecodeFixed32(storage->data() + 12));
+      static_cast<size_t>(DecodeFixed32(storage->data() + kPayloadLenOffset));
   storage->resize(kFrameHeaderBytes + payload_len);
   if (payload_len > 0) {
     s = ReadFully(fd_, storage->data() + kFrameHeaderBytes, payload_len);
@@ -150,11 +179,12 @@ Status SealClient::ReadFrame(uint8_t* opcode, uint64_t* request_id,
 }
 
 Status SealClient::OneRoundTrip(uint8_t opcode, uint64_t id,
+                                uint64_t trace_id,
                                 const Slice& request_payload,
                                 std::string* response_storage,
                                 Slice* response_payload) {
   if (fd_ < 0) return Status::IOError("not connected");
-  Status s = SendFrame(opcode, id, request_payload);
+  Status s = SendFrame(opcode, id, trace_id, request_payload);
   if (!s.ok()) return s;
   // A duplicated response (network-level retransmission) for an older
   // request may sit ahead of ours in the stream; skip a bounded number of
@@ -188,10 +218,14 @@ Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
   }
   // The id is fixed before the first attempt and reused verbatim on every
   // retry: the server's dedup window recognises a resubmitted write by it.
+  // The trace id is likewise fixed, so a retried operation shows up as one
+  // trace on the server even when it took several attempts.
   const uint64_t id = next_request_id_++;
+  const uint64_t trace_id = MakeTraceId(id);
+  last_trace_id_ = trace_id;
   if (!retry_.enabled) {
-    return OneRoundTrip(opcode, id, request_payload, response_storage,
-                        response_payload);
+    return OneRoundTrip(opcode, id, trace_id, request_payload,
+                        response_storage, response_payload);
   }
 
   const uint64_t deadline =
@@ -224,7 +258,7 @@ Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       }
       if (deadline != 0 && NowMillis() >= deadline) break;
-      stats_.retries++;
+      c_retries_->Inc();
     }
 
     if (fd_ < 0) {
@@ -233,8 +267,8 @@ Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
       if (!last.ok()) continue;
     }
 
-    last = OneRoundTrip(opcode, id, request_payload, response_storage,
-                        response_payload);
+    last = OneRoundTrip(opcode, id, trace_id, request_payload,
+                        response_storage, response_payload);
     if (last.ok()) {
       // Transport succeeded; peek at the leading status record (every
       // response payload starts with one) so admission-control rejections
@@ -242,14 +276,14 @@ Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
       Status remote;
       Slice in = *response_payload;
       if (DecodeStatusRecord(&in, &remote) && remote.IsBusy()) {
-        stats_.busy_responses++;
+        c_busy_->Inc();
         last = remote;
         continue;  // connection is fine: back off and resend
       }
       return Status::OK();
     }
 
-    if (last.IsTimedOut()) stats_.timeouts++;
+    if (last.IsTimedOut()) c_timeouts_->Inc();
     if (!last.IsIOError() && !last.IsTimedOut() && !last.IsCorruption()) {
       return last;  // a typed engine error: give up, it's the real answer
     }
@@ -371,11 +405,26 @@ Status SealClient::Stats(std::string* text) {
   return remote;
 }
 
+Status SealClient::Metrics(std::string* text) {
+  std::string storage;
+  Slice payload;
+  Status s = RoundTrip(static_cast<uint8_t>(Op::kMetrics), Slice(), &storage,
+                       &payload);
+  if (!s.ok()) return s;
+  Status remote;
+  // METRICS responses reuse the STATS shape: status record + text blob.
+  if (!DecodeStatsResponse(payload, &remote, text)) {
+    return Status::Corruption("malformed METRICS response");
+  }
+  return remote;
+}
+
 uint64_t SealClient::QueuePut(const Slice& key, const Slice& value) {
   const uint64_t id = next_request_id_++;
   std::string req;
   EncodePutRequest(&req, key, value);
-  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kPut), id, req);
+  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kPut), id, req,
+              MakeTraceId(id));
   pending_.push_back({id, static_cast<uint8_t>(Op::kPut)});
   return id;
 }
@@ -384,7 +433,8 @@ uint64_t SealClient::QueueDelete(const Slice& key) {
   const uint64_t id = next_request_id_++;
   std::string req;
   EncodeKeyRequest(&req, key);
-  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kDelete), id, req);
+  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kDelete), id, req,
+              MakeTraceId(id));
   pending_.push_back({id, static_cast<uint8_t>(Op::kDelete)});
   return id;
 }
@@ -393,7 +443,8 @@ uint64_t SealClient::QueueGet(const Slice& key) {
   const uint64_t id = next_request_id_++;
   std::string req;
   EncodeKeyRequest(&req, key);
-  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kGet), id, req);
+  EncodeFrame(&send_buf_, static_cast<uint8_t>(Op::kGet), id, req,
+              MakeTraceId(id));
   pending_.push_back({id, static_cast<uint8_t>(Op::kGet)});
   return id;
 }

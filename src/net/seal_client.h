@@ -16,15 +16,23 @@
 // resubmission of a write whose ack was lost and never applies it twice.
 // The pipelined API does not retry — callers own resubmission there.
 //
+// Observability (DESIGN.md §12): every request carries a nonzero trace id
+// (a bijective mix of its request id, reused verbatim on retries) in the
+// v2 frame header; the server samples trace ids to record per-request
+// span breakdowns. Retry/reconnect accounting lives in a client-private
+// MetricsRegistry (sealdb_client_*); stats() snapshots it.
+//
 // A SealClient is NOT thread-safe; use one per thread (the server side is
 // built for many concurrent connections).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -55,6 +63,7 @@ struct RetryPolicy {
   uint32_t jitter_seed = 0;
 };
 
+// Snapshot of the client's sealdb_client_* registry counters.
 struct ClientStats {
   uint64_t retries = 0;          // attempts after the first
   uint64_t reconnects = 0;       // successful automatic reconnects
@@ -82,7 +91,15 @@ class SealClient {
 
   void set_retry_policy(const RetryPolicy& policy);
   const RetryPolicy& retry_policy() const { return retry_; }
-  const ClientStats& stats() const { return stats_; }
+  ClientStats stats() const;
+  // The client-private registry behind stats(); render for a
+  // sealdb_client_* exposition alongside the server's METRICS text.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const {
+    return registry_;
+  }
+  // Trace id attached to the most recent sync operation (reused verbatim
+  // across its retries). Zero before the first operation.
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
   // ---- sync API ----
   Status Ping();
@@ -93,6 +110,8 @@ class SealClient {
   Status Scan(const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
   Status Stats(std::string* text);
+  // Prometheus-style text exposition of the server's metrics registry.
+  Status Metrics(std::string* text);
 
   // ---- pipelined API ----
   struct Result {
@@ -120,13 +139,15 @@ class SealClient {
     uint8_t opcode;
   };
 
-  Status SendFrame(uint8_t opcode, uint64_t request_id, const Slice& payload);
+  Status SendFrame(uint8_t opcode, uint64_t request_id, uint64_t trace_id,
+                   const Slice& payload);
   // Read exactly one frame; *payload is backed by *storage.
   Status ReadFrame(uint8_t* opcode, uint64_t* request_id,
                    std::string* storage, Slice* payload);
   // Send `id` + read its response, no retries. The connection is left in
   // an indeterminate state on failure and must be reopened.
-  Status OneRoundTrip(uint8_t opcode, uint64_t id, const Slice& request_payload,
+  Status OneRoundTrip(uint8_t opcode, uint64_t id, uint64_t trace_id,
+                      const Slice& request_payload,
                       std::string* response_storage, Slice* response_payload);
   // One sync operation: OneRoundTrip wrapped in the retry policy. Fails if
   // pipelined requests are pending.
@@ -145,7 +166,12 @@ class SealClient {
   int connect_timeout_millis_ = 0;
 
   RetryPolicy retry_;
-  ClientStats stats_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* c_retries_;
+  obs::Counter* c_reconnects_;
+  obs::Counter* c_busy_;
+  obs::Counter* c_timeouts_;
+  uint64_t last_trace_id_ = 0;
   Random jitter_rng_{1};
 };
 

@@ -22,21 +22,25 @@ const char* OpName(uint8_t opcode) {
       return "SCAN";
     case Op::kStats:
       return "STATS";
+    case Op::kMetrics:
+      return "METRICS";
   }
   if (opcode == (kOpError | kResponseBit) || opcode == kOpError) return "ERROR";
   return "UNKNOWN";
 }
 
 void EncodeFrame(std::string* dst, uint8_t opcode, uint64_t request_id,
-                 const Slice& payload) {
+                 const Slice& payload, uint64_t trace_id) {
   char header[kFrameHeaderBytes];
   header[0] = static_cast<char>(kWireMagic0);
   header[1] = static_cast<char>(kWireMagic1);
-  header[2] = static_cast<char>(kWireVersion);
-  header[3] = static_cast<char>(opcode);
-  EncodeFixed64(header + 4, request_id);
-  EncodeFixed32(header + 12, static_cast<uint32_t>(payload.size()));
-  EncodeFixed32(header + 16,
+  header[kVersionOffset] = static_cast<char>(kWireVersion);
+  header[kOpcodeOffset] = static_cast<char>(opcode);
+  EncodeFixed64(header + kRequestIdOffset, request_id);
+  EncodeFixed64(header + kTraceIdOffset, trace_id);
+  EncodeFixed32(header + kPayloadLenOffset,
+                static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(header + kCrcOffset,
                 crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   dst->append(header, kFrameHeaderBytes);
   dst->append(payload.data(), payload.size());
@@ -53,15 +57,17 @@ DecodeResult DecodeFrame(Slice* input, FrameHeader* header, Slice* payload,
   if (input->size() >= 2 && static_cast<uint8_t>(p[1]) != kWireMagic1) {
     return DecodeResult::kBadMagic;
   }
-  if (input->size() >= 3 && static_cast<uint8_t>(p[2]) != kWireVersion) {
+  if (input->size() >= 3 && static_cast<uint8_t>(p[kVersionOffset]) !=
+                                kWireVersion) {
     return DecodeResult::kBadVersion;
   }
   if (input->size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;
-  header->version = static_cast<uint8_t>(p[2]);
-  header->opcode = static_cast<uint8_t>(p[3]);
-  header->request_id = DecodeFixed64(p + 4);
-  header->payload_len = DecodeFixed32(p + 12);
-  const uint32_t masked_crc = DecodeFixed32(p + 16);
+  header->version = static_cast<uint8_t>(p[kVersionOffset]);
+  header->opcode = static_cast<uint8_t>(p[kOpcodeOffset]);
+  header->request_id = DecodeFixed64(p + kRequestIdOffset);
+  header->trace_id = DecodeFixed64(p + kTraceIdOffset);
+  header->payload_len = DecodeFixed32(p + kPayloadLenOffset);
+  const uint32_t masked_crc = DecodeFixed32(p + kCrcOffset);
   if (header->payload_len > max_payload) return DecodeResult::kTooLarge;
   if (input->size() < kFrameHeaderBytes + header->payload_len) {
     return DecodeResult::kNeedMore;

@@ -7,9 +7,15 @@
 //   2      1     protocol version (kWireVersion)
 //   3      1     opcode (requests: Op; responses: Op | kResponseBit)
 //   4      8     request id (fixed64, echoed verbatim in the response)
-//   12     4     payload length (fixed32)
-//   16     4     masked crc32c of the payload (fixed32, util/crc32c)
-//   20     ...   payload
+//   12     8     trace id (fixed64; 0 = untraced — see DESIGN.md §12)
+//   20     4     payload length (fixed32)
+//   24     4     masked crc32c of the payload (fixed32, util/crc32c)
+//   28     ...   payload
+//
+// Version history: v1 had no trace-id field (20-byte header). v2 spends
+// eight reserved bytes on a client-minted trace id so a request can be
+// followed through queue-wait / group-commit / engine / device spans
+// server-side. The id is echoed on responses like the request id.
 //
 // Payloads use the same little-endian primitives as the on-disk formats
 // (util/coding): length-prefixed slices and varints. Every response payload
@@ -36,8 +42,18 @@ namespace sealdb::net {
 
 inline constexpr uint8_t kWireMagic0 = 0x5E;
 inline constexpr uint8_t kWireMagic1 = 0xA1;
-inline constexpr uint8_t kWireVersion = 1;
-inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 28;
+
+// Field offsets within the frame header. Anything that peeks at a raw
+// header (the client's reader, the chaos proxy, tests) must use these
+// rather than hard-coded offsets.
+inline constexpr size_t kVersionOffset = 2;
+inline constexpr size_t kOpcodeOffset = 3;
+inline constexpr size_t kRequestIdOffset = 4;
+inline constexpr size_t kTraceIdOffset = 12;
+inline constexpr size_t kPayloadLenOffset = 20;
+inline constexpr size_t kCrcOffset = 24;
 
 // Absolute sanity cap on a frame payload; servers may enforce a lower
 // per-connection limit (ServerOptions::max_frame_bytes).
@@ -51,6 +67,7 @@ enum class Op : uint8_t {
   kWriteBatch = 5,
   kScan = 6,
   kStats = 7,
+  kMetrics = 8,
 };
 
 // Set on the opcode byte of every response frame.
@@ -67,12 +84,14 @@ struct FrameHeader {
   uint8_t version = 0;
   uint8_t opcode = 0;
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;  // 0 = untraced
   uint32_t payload_len = 0;
 };
 
-// Append one complete frame (header + payload) to *dst.
+// Append one complete frame (header + payload) to *dst. trace_id 0 marks
+// the request untraced.
 void EncodeFrame(std::string* dst, uint8_t opcode, uint64_t request_id,
-                 const Slice& payload);
+                 const Slice& payload, uint64_t trace_id = 0);
 
 enum class DecodeResult {
   kOk,         // *header/*payload filled, frame consumed from *input
@@ -123,7 +142,9 @@ bool DecodeScanResponse(
     Slice input, Status* s,
     std::vector<std::pair<std::string, std::string>>* entries);
 
-// STATS response: status record + length-prefixed stats text.
+// STATS and METRICS responses share one shape: status record +
+// length-prefixed text (human-readable stats for STATS, Prometheus text
+// exposition for METRICS). Both requests carry an empty payload.
 void EncodeStatsResponse(std::string* dst, const Status& s, const Slice& text);
 bool DecodeStatsResponse(Slice input, Status* s, std::string* text);
 

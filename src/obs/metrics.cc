@@ -1,0 +1,359 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace sealdb::obs {
+
+namespace detail {
+size_t ShardIndex() {
+  // Hash of the thread id, computed once per thread. Distinct threads land
+  // on distinct cache lines with high probability.
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shard;
+}
+}  // namespace detail
+
+uint64_t Gauge::ToBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::FromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i < bounds_.size() + 1; i++) {
+    buckets_.push_back(std::make_unique<Counter>());
+  }
+}
+
+void FixedHistogram::Observe(double v) {
+  size_t idx =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  // upper_bound finds the first bound strictly greater than v, but the
+  // bucket convention is inclusive (counts observations <= bound), so step
+  // back when v sits exactly on an edge.
+  if (idx > 0 && bounds_[idx - 1] == v) idx--;
+  buckets_[idx]->Inc();
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    double sum;
+    std::memcpy(&sum, &cur, sizeof(sum));
+    sum += v;
+    std::memcpy(&next, &sum, sizeof(next));
+  } while (!sum_bits_.compare_exchange_weak(cur, next,
+                                            std::memory_order_relaxed));
+}
+
+FixedHistogram::Snapshot FixedHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    uint64_t c = b->Value();
+    snap.counts.push_back(c);
+    snap.count += c;
+  }
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  std::memcpy(&snap.sum, &bits, sizeof(snap.sum));
+  return snap;
+}
+
+std::vector<double> MicrosBuckets() {
+  std::vector<double> b;
+  for (double edge = 1; edge <= 67'108'864.0; edge *= 4) b.push_back(edge);
+  return b;  // 1us, 4us, ..., ~67s (14 buckets + Inf)
+}
+
+namespace {
+
+bool LabelsEqual(const Labels& a, const Labels& b) {
+  return a == b;
+}
+
+// {key="value",...} with '\' , '"' and newline escaped per the exposition
+// format. Empty label set renders as an empty string.
+std::string RenderLabels(const Labels& labels, const char* extra_key = nullptr,
+                         const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += "\"";
+  };
+  for (const auto& [k, v] : labels) append(k, v);
+  if (extra_key != nullptr) append(extra_key, extra_value);
+  out += "}";
+  return out;
+}
+
+// Integral values print without a decimal point so counter output is exact;
+// everything else uses shortest round-trip-ish %.17g trimmed via %g.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+std::string FormatBound(double b) {
+  return FormatValue(b);
+}
+
+const char* TypeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kTimeCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(const std::string& name,
+                                                    const Labels& labels)
+    const {
+  for (const auto& e : entries_) {
+    if (e->name == name && LabelsEqual(e->labels, labels)) return e.get();
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Register(
+    const std::string& name, const std::string& help, const Labels& labels,
+    MetricKind kind, const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = FindOrNull(name, labels)) {
+    return existing->kind == kind ? existing : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kTimeCounter:
+      entry->time_counter = std::make_unique<TimeCounter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<FixedHistogram>(*bounds);
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          const Labels& labels) {
+  Entry* e = Register(name, help, labels, MetricKind::kCounter, nullptr);
+  return e != nullptr ? e->counter.get() : nullptr;
+}
+
+TimeCounter* MetricsRegistry::RegisterTimeCounter(const std::string& name,
+                                                  const std::string& help,
+                                                  const Labels& labels) {
+  Entry* e = Register(name, help, labels, MetricKind::kTimeCounter, nullptr);
+  return e != nullptr ? e->time_counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  Entry* e = Register(name, help, labels, MetricKind::kGauge, nullptr);
+  return e != nullptr ? e->gauge.get() : nullptr;
+}
+
+FixedHistogram* MetricsRegistry::RegisterHistogram(
+    const std::string& name, const std::string& help,
+    const std::vector<double>& bounds, const Labels& labels) {
+  Entry* e = Register(name, help, labels, MetricKind::kHistogram, &bounds);
+  return e != nullptr ? e->histogram.get() : nullptr;
+}
+
+size_t MetricsRegistry::AddCollectHook(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollectHook(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.erase(std::remove_if(hooks_.begin(), hooks_.end(),
+                              [id](const auto& h) { return h.first == id; }),
+               hooks_.end());
+}
+
+void MetricsRegistry::RunCollectHooks() const {
+  // Copy the hook list so hooks can register metrics (which takes mu_).
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks.reserve(hooks_.size());
+    for (const auto& [id, fn] : hooks_) hooks.push_back(fn);
+  }
+  for (const auto& fn : hooks) fn();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  RunCollectHooks();
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.labels = e->labels;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e->counter->Value());
+        break;
+      case MetricKind::kTimeCounter:
+        s.value = e->time_counter->Seconds();
+        break;
+      case MetricKind::kGauge:
+        s.value = e->gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = e->histogram->TakeSnapshot();
+        s.value = static_cast<double>(s.histogram.count);
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::vector<MetricSample> samples = Snapshot();
+  // Group into families by name; stable-sort keeps same-name label sets in
+  // registration order, then order families and label sets alphabetically
+  // so the output is deterministic regardless of registration interleaving.
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  // HELP strings live in entries_; rebuild a name -> help map.
+  std::vector<std::pair<std::string, std::string>> helps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) helps.emplace_back(e->name, e->help);
+  }
+  auto help_for = [&](const std::string& name) -> const std::string& {
+    static const std::string kEmpty;
+    for (const auto& [n, h] : helps) {
+      if (n == name) return h;
+    }
+    return kEmpty;
+  };
+
+  std::string out;
+  std::string prev_name;
+  char line[256];
+  for (const MetricSample& s : samples) {
+    if (s.name != prev_name) {
+      prev_name = s.name;
+      const std::string& help = help_for(s.name);
+      if (!help.empty()) {
+        out += "# HELP " + s.name + " " + help + "\n";
+      }
+      out += "# TYPE " + s.name + " ";
+      out += TypeName(s.kind);
+      out += "\n";
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < s.histogram.counts.size(); i++) {
+        cumulative += s.histogram.counts[i];
+        std::string le = i < s.histogram.bounds.size()
+                             ? FormatBound(s.histogram.bounds[i])
+                             : "+Inf";
+        snprintf(line, sizeof(line), " %" PRIu64 "\n", cumulative);
+        out += s.name + "_bucket" + RenderLabels(s.labels, "le", le) + line;
+      }
+      out += s.name + "_sum" + RenderLabels(s.labels) + " " +
+             FormatValue(s.histogram.sum) + "\n";
+      snprintf(line, sizeof(line), " %" PRIu64 "\n", s.histogram.count);
+      out += s.name + "_count" + RenderLabels(s.labels) + line;
+    } else {
+      out += s.name + RenderLabels(s.labels) + " " + FormatValue(s.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                        const Labels& labels) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrNull(name, labels);
+  if (e == nullptr) return 0;
+  if (e->kind == MetricKind::kCounter) return e->counter->Value();
+  if (e->kind == MetricKind::kTimeCounter) return e->time_counter->Nanos();
+  return 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrNull(name, labels);
+  if (e == nullptr || e->kind != MetricKind::kGauge) return 0;
+  return e->gauge->Value();
+}
+
+double MetricsRegistry::time_value(const std::string& name,
+                                   const Labels& labels) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrNull(name, labels);
+  if (e == nullptr || e->kind != MetricKind::kTimeCounter) return 0;
+  return e->time_counter->Seconds();
+}
+
+}  // namespace sealdb::obs

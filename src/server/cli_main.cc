@@ -7,6 +7,7 @@
 //     del <key>
 //     scan <start> <limit>
 //     stats
+//     metrics
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,7 +26,8 @@ void Usage(const char* argv0) {
                "  put <key> <value>       store <key> -> <value>\n"
                "  del <key>               delete <key>\n"
                "  scan <start> <limit>    print up to <limit> entries\n"
-               "  stats                   engine/device/server stats\n",
+               "  stats                   engine/device/server stats\n"
+               "  metrics                 Prometheus-style text exposition\n",
                argv0);
 }
 
@@ -91,6 +93,10 @@ int main(int argc, char** argv) {
   } else if (command == "stats" && args.empty()) {
     std::string text;
     s = client.Stats(&text);
+    if (s.ok()) std::printf("%s", text.c_str());
+  } else if (command == "metrics" && args.empty()) {
+    std::string text;
+    s = client.Metrics(&text);
     if (s.ok()) std::printf("%s", text.c_str());
   } else {
     Usage(argv[0]);

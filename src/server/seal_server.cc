@@ -29,6 +29,13 @@ namespace sealdb::server {
 
 namespace {
 
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // Per-connection state. The read buffer and epoll bookkeeping are touched
 // only by the event-loop thread; the write buffer is shared between the
 // workers (append) and the loop (flush) under `mu`.
@@ -66,6 +73,8 @@ struct Request {
   ConnPtr conn;
   uint8_t opcode = 0;
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;       // 0 = untraced
+  uint64_t enqueue_micros = 0; // when Dispatch() queued it (tracing)
   std::string payload;
 };
 
@@ -75,9 +84,113 @@ struct SealServer::Impl {
   Impl(DB* db, baselines::Stack* stack, const ServerOptions& options)
       : db_(db), stack_(stack), opts_(options) {
     if (stack_ != nullptr) external_memory_ = stack_->external_memory_bytes();
+    registry_ = opts_.metrics_registry;
+    if (registry_ == nullptr && stack_ != nullptr) {
+      registry_ = stack_->metrics_registry();
+    }
+    if (registry_ == nullptr) {
+      registry_ = std::make_shared<obs::MetricsRegistry>();
+    }
+    RegisterMetrics();
   }
 
-  ~Impl() { StopImpl(); }
+  ~Impl() {
+    StopImpl();
+    // The registry (usually stack-owned) outlives this Impl; the hook
+    // reads our queues, so it must not.
+    registry_->RemoveCollectHook(depth_hook_id_);
+  }
+
+  void RegisterMetrics() {
+    obs::MetricsRegistry& r = *registry_;
+    c_conns_accepted_ = r.RegisterCounter(
+        "sealdb_server_connections_accepted_total", "Connections accepted");
+    g_conns_active_ = r.RegisterGauge("sealdb_server_connections_active",
+                                      "Currently open connections");
+    c_requests_ = r.RegisterCounter("sealdb_server_requests_total",
+                                    "Complete frames dispatched or rejected");
+    const char* ops_help = "Requests by operation class";
+    c_gets_ = r.RegisterCounter("sealdb_server_ops_total", ops_help,
+                                {{"op", "get"}});
+    c_writes_ = r.RegisterCounter("sealdb_server_ops_total", ops_help,
+                                  {{"op", "write"}});
+    c_scans_ = r.RegisterCounter("sealdb_server_ops_total", ops_help,
+                                 {{"op", "scan"}});
+    c_write_groups_ = r.RegisterCounter(
+        "sealdb_server_write_groups_total",
+        "DB::Write calls issued by group commit");
+    c_batched_writes_ = r.RegisterCounter(
+        "sealdb_server_batched_writes_total",
+        "Write requests folded into those groups");
+    c_protocol_errors_ = r.RegisterCounter(
+        "sealdb_server_protocol_errors_total",
+        "Malformed frames and unknown opcodes");
+    const char* bytes_help = "Wire bytes by direction";
+    c_bytes_in_ = r.RegisterCounter("sealdb_server_bytes_total", bytes_help,
+                                    {{"dir", "in"}});
+    c_bytes_out_ = r.RegisterCounter("sealdb_server_bytes_total", bytes_help,
+                                     {{"dir", "out"}});
+    const char* rej_help =
+        "Load shed by admission control, by reason (kBusy responses, plus "
+        "over-cap connections)";
+    c_rej_conns_ = r.RegisterCounter("sealdb_server_admission_rejected_total",
+                                     rej_help, {{"reason", "connections"}});
+    c_rej_queue_full_ =
+        r.RegisterCounter("sealdb_server_admission_rejected_total", rej_help,
+                          {{"reason", "queue_full"}});
+    c_rej_inflight_ =
+        r.RegisterCounter("sealdb_server_admission_rejected_total", rej_help,
+                          {{"reason", "inflight_cap"}});
+    c_rej_stall_ =
+        r.RegisterCounter("sealdb_server_admission_rejected_total", rej_help,
+                          {{"reason", "stall"}});
+    c_evictions_ = r.RegisterCounter(
+        "sealdb_server_slow_client_evictions_total",
+        "Connections closed for not draining their responses");
+    c_dedup_replays_ = r.RegisterCounter(
+        "sealdb_server_dedup_replays_total",
+        "Retried writes acked from the dedup window without re-applying");
+
+    const char* span_help =
+        "Sampled request span breakdown (see ServerOptions::trace_sample_"
+        "every)";
+    const std::vector<double> buckets = obs::MicrosBuckets();
+    h_queue_ = r.RegisterHistogram("sealdb_server_span_micros", span_help,
+                                   buckets, {{"stage", "queue"}});
+    h_commit_ = r.RegisterHistogram("sealdb_server_span_micros", span_help,
+                                    buckets, {{"stage", "commit"}});
+    h_engine_ = r.RegisterHistogram("sealdb_server_span_micros", span_help,
+                                    buckets, {{"stage", "engine"}});
+    h_total_ = r.RegisterHistogram("sealdb_server_span_micros", span_help,
+                                   buckets, {{"stage", "total"}});
+
+    obs::Gauge* g_read_q = r.RegisterGauge("sealdb_server_read_queue_depth",
+                                           "Read requests awaiting a worker");
+    obs::Gauge* g_write_q = r.RegisterGauge(
+        "sealdb_server_write_queue_depth",
+        "Write requests awaiting the group-commit leader");
+    obs::Gauge* g_queued_bytes = r.RegisterGauge(
+        "sealdb_server_queued_write_bytes",
+        "Write payload bytes held by the group-commit queue");
+    obs::Gauge* g_buffer = r.RegisterGauge(
+        "sealdb_server_connection_buffer_bytes",
+        "Bytes across per-connection read and response buffers");
+    depth_hook_id_ = r.AddCollectHook([this, g_read_q, g_write_q,
+                                       g_queued_bytes, g_buffer] {
+      size_t rq, wq, qb;
+      {
+        std::lock_guard<std::mutex> l(queue_mu_);
+        rq = read_tasks_.size();
+        wq = write_tasks_.size();
+        qb = queued_write_bytes_;
+      }
+      g_read_q->Set(static_cast<double>(rq));
+      g_write_q->Set(static_cast<double>(wq));
+      g_queued_bytes->Set(static_cast<double>(qb));
+      g_buffer->Set(static_cast<double>(
+          buffer_bytes_.load(std::memory_order_relaxed)));
+    });
+  }
 
   // ---- configuration / collaborators ----
   DB* const db_;
@@ -127,25 +240,38 @@ struct SealServer::Impl {
   std::mutex stop_mu_;  // serializes Stop() callers
   bool stopped_ = false;
 
-  // ---- accounting ----
+  // ---- accounting: everything lives in the metrics registry ----
+  // Exact byte ledger for per-connection buffers; the registry gauge is a
+  // collect-hook rendering of this (it also feeds external_memory_).
   std::atomic<uint64_t> buffer_bytes_{0};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_active_{0};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> gets_{0};
-  std::atomic<uint64_t> writes_{0};
-  std::atomic<uint64_t> scans_{0};
-  std::atomic<uint64_t> write_groups_{0};
-  std::atomic<uint64_t> batched_writes_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> bytes_in_{0};
-  std::atomic<uint64_t> bytes_out_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
-  std::atomic<uint64_t> rejected_queue_full_{0};
-  std::atomic<uint64_t> rejected_inflight_cap_{0};
-  std::atomic<uint64_t> rejected_stall_{0};
-  std::atomic<uint64_t> slow_client_evictions_{0};
-  std::atomic<uint64_t> dedup_replays_{0};
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* c_conns_accepted_;
+  obs::Gauge* g_conns_active_;
+  obs::Counter* c_requests_;
+  obs::Counter* c_gets_;
+  obs::Counter* c_writes_;
+  obs::Counter* c_scans_;
+  obs::Counter* c_write_groups_;
+  obs::Counter* c_batched_writes_;
+  obs::Counter* c_protocol_errors_;
+  obs::Counter* c_bytes_in_;
+  obs::Counter* c_bytes_out_;
+  obs::Counter* c_rej_conns_;
+  obs::Counter* c_rej_queue_full_;
+  obs::Counter* c_rej_inflight_;
+  obs::Counter* c_rej_stall_;
+  obs::Counter* c_evictions_;
+  obs::Counter* c_dedup_replays_;
+  obs::FixedHistogram* h_queue_;
+  obs::FixedHistogram* h_commit_;
+  obs::FixedHistogram* h_engine_;
+  obs::FixedHistogram* h_total_;
+  size_t depth_hook_id_ = 0;
+
+  // ---- sampled trace spans (bounded ring, newest at the back) ----
+  static constexpr size_t kTraceRing = 128;
+  mutable std::mutex trace_mu_;
+  std::deque<TraceSpan> traces_;
 
   void AdjustBuffered(int64_t delta) {
     buffer_bytes_.fetch_add(static_cast<uint64_t>(delta),
@@ -342,8 +468,8 @@ struct SealServer::Impl {
       auto conn = std::make_shared<Connection>(fd);
       conns_.emplace(fd, conn);
       EpollAdd(fd, EPOLLIN);
-      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-      connections_active_.fetch_add(1, std::memory_order_relaxed);
+      c_conns_accepted_->Inc();
+      g_conns_active_->Add(1.0);
     }
   }
 
@@ -360,7 +486,7 @@ struct SealServer::Impl {
                      /*request_id=*/0, payload);
     (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
     net::CloseFd(fd);
-    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    c_rej_conns_->Inc();
   }
 
   void ReadAndDispatch(const ConnPtr& conn) {
@@ -370,8 +496,7 @@ struct SealServer::Impl {
       if (r > 0) {
         conn->rbuf.append(scratch, static_cast<size_t>(r));
         AdjustBuffered(r);
-        bytes_in_.fetch_add(static_cast<uint64_t>(r),
-                            std::memory_order_relaxed);
+        c_bytes_in_->Add(static_cast<uint64_t>(r));
         if (static_cast<size_t>(r) < sizeof(scratch)) break;
         continue;
       }
@@ -400,7 +525,7 @@ struct SealServer::Impl {
         Dispatch(conn, header, payload);
         continue;
       }
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      c_protocol_errors_->Inc();
       fatal = true;
       if (res == net::DecodeResult::kBadMagic) {
         // Not our protocol; nothing sensible to answer on this stream.
@@ -433,14 +558,15 @@ struct SealServer::Impl {
 
   void Dispatch(const ConnPtr& conn, const net::FrameHeader& header,
                 const Slice& payload) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    c_requests_->Inc();
     const net::Op op = static_cast<net::Op>(header.opcode);
     const bool is_write = op == net::Op::kPut || op == net::Op::kDelete ||
                           op == net::Op::kWriteBatch;
     const bool is_read = op == net::Op::kGet || op == net::Op::kScan ||
-                         op == net::Op::kStats || op == net::Op::kPing;
+                         op == net::Op::kStats || op == net::Op::kMetrics ||
+                         op == net::Op::kPing;
     if (!is_write && !is_read) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      c_protocol_errors_->Inc();
       std::string payload_out;
       net::EncodeStatusRecord(&payload_out,
                               Status::InvalidArgument("unknown opcode"));
@@ -454,11 +580,11 @@ struct SealServer::Impl {
     }
 
     if (is_write) {
-      writes_.fetch_add(1, std::memory_order_relaxed);
+      c_writes_->Inc();
     } else if (op == net::Op::kGet) {
-      gets_.fetch_add(1, std::memory_order_relaxed);
+      c_gets_->Inc();
     } else if (op == net::Op::kScan) {
-      scans_.fetch_add(1, std::memory_order_relaxed);
+      c_scans_->Inc();
     }
 
     // ---- admission control: shed excess load with typed kBusy errors
@@ -466,14 +592,14 @@ struct SealServer::Impl {
     if (opts_.max_inflight_per_conn > 0 &&
         conn->inflight.load(std::memory_order_relaxed) >=
             opts_.max_inflight_per_conn) {
-      rejected_inflight_cap_.fetch_add(1, std::memory_order_relaxed);
+      c_rej_inflight_->Inc();
       RejectBusy(conn, header,
                  Status::Busy("per-connection in-flight cap reached"));
       return;
     }
     if (is_write && opts_.reject_writes_on_stall &&
         db_->WriteStallLevel() >= 2) {
-      rejected_stall_.fetch_add(1, std::memory_order_relaxed);
+      c_rej_stall_->Inc();
       RejectBusy(conn, header, Status::Busy("engine write stall"));
       return;
     }
@@ -482,6 +608,8 @@ struct SealServer::Impl {
     req.conn = conn;
     req.opcode = header.opcode;
     req.request_id = header.request_id;
+    req.trace_id = header.trace_id;
+    if (Sampled(header.trace_id)) req.enqueue_micros = NowMicros();
     req.payload.assign(payload.data(), payload.size());
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     bool queue_full = false;
@@ -502,7 +630,7 @@ struct SealServer::Impl {
     }
     if (queue_full) {
       conn->inflight.fetch_sub(1, std::memory_order_relaxed);
-      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      c_rej_queue_full_->Inc();
       RejectBusy(conn, header, Status::Busy("write queue over byte budget"));
       return;
     }
@@ -522,6 +650,7 @@ struct SealServer::Impl {
         net::EncodeScanResponse(&payload_out, busy, {});
         break;
       case net::Op::kStats:
+      case net::Op::kMetrics:
         net::EncodeStatsResponse(&payload_out, busy, Slice());
         break;
       default:
@@ -567,11 +696,11 @@ struct SealServer::Impl {
     }
     if (!appended) return;
     AdjustBuffered(static_cast<int64_t>(frame.size()));
-    bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
+    c_bytes_out_->Add(frame.size());
     if (evicted_bytes > 0) {
       // The eviction swallowed everything buffered, including this frame.
       AdjustBuffered(-evicted_bytes);
-      slow_client_evictions_.fetch_add(1, std::memory_order_relaxed);
+      c_evictions_->Inc();
     }
     {
       std::lock_guard<std::mutex> l(pending_mu_);
@@ -662,7 +791,49 @@ struct SealServer::Impl {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     net::CloseFd(conn->fd);
     conns_.erase(conn->fd);
-    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    g_conns_active_->Add(-1.0);
+  }
+
+  // -------------------------------------------------------------- tracing
+
+  // Deterministic sampling in the client-minted trace id: a retried
+  // request (same trace id on every attempt) is sampled consistently.
+  bool Sampled(uint64_t trace_id) const {
+    return trace_id != 0 && opts_.trace_sample_every != 0 &&
+           trace_id % opts_.trace_sample_every == 0;
+  }
+
+  // Simulated device busy time, snapshotted only around sampled requests:
+  // device_stats() takes the FileStore mutex, which is too heavy for the
+  // per-request hot path.
+  double DeviceBusySeconds() const {
+    return stack_ != nullptr ? stack_->device_stats().busy_seconds : 0.0;
+  }
+
+  void RecordTrace(const TraceSpan& span) {
+    h_queue_->Observe(static_cast<double>(span.queue_micros));
+    h_commit_->Observe(static_cast<double>(span.commit_micros));
+    h_engine_->Observe(static_cast<double>(span.engine_micros));
+    h_total_->Observe(static_cast<double>(span.total_micros));
+    {
+      std::lock_guard<std::mutex> l(trace_mu_);
+      traces_.push_back(span);
+      if (traces_.size() > kTraceRing) traces_.pop_front();
+    }
+    if (opts_.log_sampled_traces) {
+      std::fprintf(
+          stderr,
+          "[sealdb trace %016llx] op=%s id=%llu total=%lluus "
+          "queue=%lluus commit=%lluus engine=%lluus device=%.3fms\n",
+          static_cast<unsigned long long>(span.trace_id),
+          net::OpName(span.opcode),
+          static_cast<unsigned long long>(span.request_id),
+          static_cast<unsigned long long>(span.total_micros),
+          static_cast<unsigned long long>(span.queue_micros),
+          static_cast<unsigned long long>(span.commit_micros),
+          static_cast<unsigned long long>(span.engine_micros),
+          span.device_seconds * 1e3);
+    }
   }
 
   // -------------------------------------------------------------- workers
@@ -736,6 +907,16 @@ struct SealServer::Impl {
   }
 
   void RunWriteGroup(std::vector<Request>& group) {
+    bool any_sampled = false;
+    for (const Request& req : group) {
+      if (Sampled(req.trace_id)) {
+        any_sampled = true;
+        break;
+      }
+    }
+    const uint64_t pickup = any_sampled ? NowMicros() : 0;
+    const double busy0 = any_sampled ? DeviceBusySeconds() : 0.0;
+
     WriteBatch combined;
     std::vector<bool> included(group.size(), false);
     int included_count = 0;
@@ -744,7 +925,7 @@ struct SealServer::Impl {
       if (IsDuplicateWrite(req.request_id)) {
         // Already applied; the client just never saw the ack. Replay OK
         // without touching the engine so the retry is exactly-once.
-        dedup_replays_.fetch_add(1, std::memory_order_relaxed);
+        c_dedup_replays_->Inc();
         std::string payload_out;
         net::EncodeStatusRecord(&payload_out, Status::OK());
         Respond(req.conn, req.opcode | net::kResponseBit, req.request_id,
@@ -784,13 +965,35 @@ struct SealServer::Impl {
     }
 
     Status s;
+    uint64_t engine_micros = 0;
     if (included_count > 0) {
       WriteOptions wo;
       wo.sync = opts_.sync_writes;
+      const uint64_t engine_start = any_sampled ? NowMicros() : 0;
       s = db_->Write(wo, &combined);
-      write_groups_.fetch_add(1, std::memory_order_relaxed);
-      batched_writes_.fetch_add(included_count, std::memory_order_relaxed);
+      if (any_sampled) engine_micros = NowMicros() - engine_start;
+      c_write_groups_->Inc();
+      c_batched_writes_->Add(static_cast<uint64_t>(included_count));
       if (s.ok()) RecordAppliedWrites(group, included);
+    }
+    if (any_sampled) {
+      // Every sampled member shares the group's commit/engine/device
+      // spans — its latency really was the whole group commit.
+      const uint64_t done = NowMicros();
+      const double device_delta = DeviceBusySeconds() - busy0;
+      for (const Request& req : group) {
+        if (!Sampled(req.trace_id)) continue;
+        TraceSpan span;
+        span.trace_id = req.trace_id;
+        span.request_id = req.request_id;
+        span.opcode = req.opcode;
+        span.queue_micros = pickup - req.enqueue_micros;
+        span.commit_micros = done - pickup;
+        span.engine_micros = engine_micros;
+        span.device_seconds = device_delta;
+        span.total_micros = done - req.enqueue_micros;
+        RecordTrace(span);
+      }
     }
     // Group commit is all-or-nothing: every member shares the outcome.
     std::string payload_out;
@@ -804,6 +1007,11 @@ struct SealServer::Impl {
   }
 
   void RunRead(const Request& req) {
+    const bool sampled = Sampled(req.trace_id);
+    const uint64_t pickup = sampled ? NowMicros() : 0;
+    const double busy0 = sampled ? DeviceBusySeconds() : 0.0;
+    uint64_t engine_micros = 0;
+
     std::string payload_out;
     switch (static_cast<net::Op>(req.opcode)) {
       case net::Op::kPing:
@@ -818,7 +1026,9 @@ struct SealServer::Impl {
           break;
         }
         std::string value;
+        const uint64_t engine_start = sampled ? NowMicros() : 0;
         Status s = db_->Get(ReadOptions(), key, &value);
+        if (sampled) engine_micros = NowMicros() - engine_start;
         net::EncodeGetResponse(&payload_out, s, value);
         break;
       }
@@ -833,21 +1043,43 @@ struct SealServer::Impl {
           break;
         }
         limit = std::min(limit, opts_.max_scan_limit);
+        const uint64_t engine_start = sampled ? NowMicros() : 0;
         std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
         for (it->Seek(start); it->Valid() && entries.size() < limit;
              it->Next()) {
           entries.emplace_back(it->key().ToString(), it->value().ToString());
         }
+        if (sampled) engine_micros = NowMicros() - engine_start;
         net::EncodeScanResponse(&payload_out, it->status(), entries);
         break;
       }
       case net::Op::kStats:
         net::EncodeStatsResponse(&payload_out, Status::OK(), BuildStatsText());
         break;
+      case net::Op::kMetrics:
+        // Prometheus text exposition of the shared registry: engine,
+        // device, allocator, and this server in one pass.
+        net::EncodeStatsResponse(&payload_out, Status::OK(),
+                                 registry_->Render());
+        break;
       default:
         net::EncodeStatusRecord(
             &payload_out, Status::InvalidArgument("unexpected opcode"));
         break;
+    }
+
+    if (sampled) {
+      const uint64_t done = NowMicros();
+      TraceSpan span;
+      span.trace_id = req.trace_id;
+      span.request_id = req.request_id;
+      span.opcode = req.opcode;
+      span.queue_micros = pickup - req.enqueue_micros;
+      span.commit_micros = done - pickup;
+      span.engine_micros = engine_micros;
+      span.device_seconds = DeviceBusySeconds() - busy0;
+      span.total_micros = done - req.enqueue_micros;
+      RecordTrace(span);
     }
     Respond(req.conn, req.opcode | net::kResponseBit, req.request_id,
             payload_out, /*close_after=*/false, /*finish=*/true);
@@ -889,12 +1121,10 @@ struct SealServer::Impl {
           d.physical_bytes_read / 1048576.0, d.awa());
       text.append(buf);
     }
+    // The server section is a rendering of the same registry counters the
+    // METRICS opcode exposes — there is no second set of books.
+    const ServerStats st = SnapshotStats();
     char buf[768];
-    const uint64_t rej_queue =
-        rejected_queue_full_.load(std::memory_order_relaxed);
-    const uint64_t rej_inflight =
-        rejected_inflight_cap_.load(std::memory_order_relaxed);
-    const uint64_t rej_stall = rejected_stall_.load(std::memory_order_relaxed);
     std::snprintf(
         buf, sizeof(buf),
         "-- server --\n"
@@ -905,40 +1135,50 @@ struct SealServer::Impl {
         "protocol errors: %llu\n"
         "busy rejections: %llu (queue %llu, inflight %llu, stall %llu)\n"
         "slow-client evictions: %llu, dedup replays: %llu\n",
-        static_cast<unsigned long long>(
-            connections_active_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            connections_accepted_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            connections_rejected_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            requests_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(gets_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            writes_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(scans_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            write_groups_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            batched_writes_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            bytes_in_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            bytes_out_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(st.connections_active),
+        static_cast<unsigned long long>(st.connections_accepted),
+        static_cast<unsigned long long>(st.connections_rejected),
+        static_cast<unsigned long long>(st.requests),
+        static_cast<unsigned long long>(st.gets),
+        static_cast<unsigned long long>(st.writes),
+        static_cast<unsigned long long>(st.scans),
+        static_cast<unsigned long long>(st.write_groups),
+        static_cast<unsigned long long>(st.batched_writes),
+        static_cast<unsigned long long>(st.bytes_in),
+        static_cast<unsigned long long>(st.bytes_out),
         static_cast<unsigned long long>(
             buffer_bytes_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            protocol_errors_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(rej_queue + rej_inflight + rej_stall),
-        static_cast<unsigned long long>(rej_queue),
-        static_cast<unsigned long long>(rej_inflight),
-        static_cast<unsigned long long>(rej_stall),
-        static_cast<unsigned long long>(
-            slow_client_evictions_.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            dedup_replays_.load(std::memory_order_relaxed)));
+        static_cast<unsigned long long>(st.protocol_errors),
+        static_cast<unsigned long long>(st.busy_rejections()),
+        static_cast<unsigned long long>(st.rejected_queue_full),
+        static_cast<unsigned long long>(st.rejected_inflight_cap),
+        static_cast<unsigned long long>(st.rejected_stall),
+        static_cast<unsigned long long>(st.slow_client_evictions),
+        static_cast<unsigned long long>(st.dedup_replays));
     text.append(buf);
     return text;
+  }
+
+  ServerStats SnapshotStats() const {
+    ServerStats out;
+    out.connections_accepted = c_conns_accepted_->Value();
+    out.connections_active = static_cast<uint64_t>(g_conns_active_->Value());
+    out.requests = c_requests_->Value();
+    out.gets = c_gets_->Value();
+    out.writes = c_writes_->Value();
+    out.scans = c_scans_->Value();
+    out.write_groups = c_write_groups_->Value();
+    out.batched_writes = c_batched_writes_->Value();
+    out.protocol_errors = c_protocol_errors_->Value();
+    out.bytes_in = c_bytes_in_->Value();
+    out.bytes_out = c_bytes_out_->Value();
+    out.connections_rejected = c_rej_conns_->Value();
+    out.rejected_queue_full = c_rej_queue_full_->Value();
+    out.rejected_inflight_cap = c_rej_inflight_->Value();
+    out.rejected_stall = c_rej_stall_->Value();
+    out.slow_client_evictions = c_evictions_->Value();
+    out.dedup_replays = c_dedup_replays_->Value();
+    return out;
   }
 
   // ----------------------------------------------------------------- stop
@@ -996,37 +1236,21 @@ Status SealServer::Start() {
 
 void SealServer::Stop() { impl_->StopImpl(); }
 
-ServerStats SealServer::stats() const {
-  ServerStats out;
-  out.connections_accepted =
-      impl_->connections_accepted_.load(std::memory_order_relaxed);
-  out.connections_active =
-      impl_->connections_active_.load(std::memory_order_relaxed);
-  out.requests = impl_->requests_.load(std::memory_order_relaxed);
-  out.gets = impl_->gets_.load(std::memory_order_relaxed);
-  out.writes = impl_->writes_.load(std::memory_order_relaxed);
-  out.scans = impl_->scans_.load(std::memory_order_relaxed);
-  out.write_groups = impl_->write_groups_.load(std::memory_order_relaxed);
-  out.batched_writes = impl_->batched_writes_.load(std::memory_order_relaxed);
-  out.protocol_errors =
-      impl_->protocol_errors_.load(std::memory_order_relaxed);
-  out.bytes_in = impl_->bytes_in_.load(std::memory_order_relaxed);
-  out.bytes_out = impl_->bytes_out_.load(std::memory_order_relaxed);
-  out.connections_rejected =
-      impl_->connections_rejected_.load(std::memory_order_relaxed);
-  out.rejected_queue_full =
-      impl_->rejected_queue_full_.load(std::memory_order_relaxed);
-  out.rejected_inflight_cap =
-      impl_->rejected_inflight_cap_.load(std::memory_order_relaxed);
-  out.rejected_stall = impl_->rejected_stall_.load(std::memory_order_relaxed);
-  out.slow_client_evictions =
-      impl_->slow_client_evictions_.load(std::memory_order_relaxed);
-  out.dedup_replays = impl_->dedup_replays_.load(std::memory_order_relaxed);
-  return out;
-}
+ServerStats SealServer::stats() const { return impl_->SnapshotStats(); }
 
 uint64_t SealServer::connection_buffer_bytes() const {
   return impl_->buffer_bytes_.load(std::memory_order_relaxed);
+}
+
+const std::shared_ptr<obs::MetricsRegistry>& SealServer::metrics_registry()
+    const {
+  return impl_->registry_;
+}
+
+std::vector<TraceSpan> SealServer::sampled_traces() const {
+  std::lock_guard<std::mutex> l(impl_->trace_mu_);
+  return std::vector<TraceSpan>(impl_->traces_.begin(),
+                                impl_->traces_.end());
 }
 
 }  // namespace sealdb::server

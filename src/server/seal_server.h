@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace sealdb {
@@ -84,8 +86,42 @@ struct ServerOptions {
   // is acked OK without re-applying, so a retry never double-applies a
   // batch. 0 disables the window.
   size_t write_dedup_window = 4096;
+
+  // ---- observability (DESIGN.md §12) ----
+  // Registry the server publishes its sealdb_server_* metrics into. When
+  // null, the stack's registry is used (if a stack was given), else a
+  // server-private one. The METRICS opcode renders whichever is in use.
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
+  // Op tracing: a request whose (client-minted, nonzero) trace id
+  // satisfies trace_id % trace_sample_every == 0 gets a span breakdown
+  // (queue-wait / commit / engine / device) recorded in the trace ring,
+  // observed into the sealdb_server_span_micros histograms, and — when
+  // log_sampled_traces is set — printed to stderr. Sampling is
+  // deterministic in the trace id, so a retried request is sampled
+  // consistently across attempts. 0 disables tracing entirely; 1 traces
+  // every request (tests). The default keeps the device_stats() snapshot
+  // (a FileStore-lock acquisition) off nearly every request.
+  uint64_t trace_sample_every = 1024;
+  bool log_sampled_traces = false;
 };
 
+// Span breakdown of one sampled request, all in wall-clock microseconds
+// except the simulated device time.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  uint8_t opcode = 0;            // request opcode (no response bit)
+  uint64_t queue_micros = 0;     // dispatch -> worker pickup
+  uint64_t commit_micros = 0;    // worker pickup -> response encoded; for
+                                 // writes, the whole group commit
+  uint64_t engine_micros = 0;    // inside the DB call
+  double device_seconds = 0.0;   // simulated drive busy time in the call
+  uint64_t total_micros = 0;     // dispatch -> response encoded
+};
+
+// Snapshot of the server's sealdb_server_* registry metrics. The
+// registry is authoritative; this struct exists for programmatic
+// consumers (tests, benches) and the STATS text rendering.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
@@ -132,6 +168,11 @@ class SealServer {
   ServerStats stats() const;
   // Bytes currently held in per-connection read/write buffers.
   uint64_t connection_buffer_bytes() const;
+  // The registry this server publishes into (see
+  // ServerOptions::metrics_registry for the resolution order).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const;
+  // The most recent sampled trace spans (bounded ring), newest last.
+  std::vector<TraceSpan> sampled_traces() const;
 
  private:
   struct Impl;

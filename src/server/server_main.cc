@@ -47,7 +47,11 @@ void Usage(const char* argv0) {
       "  --max-response-buffer-bytes N slow-client eviction threshold "
       "(default 16 MiB; 0 = unlimited)\n"
       "  --no-stall-rejection  queue writes during engine write stalls "
-      "instead of rejecting with Busy\n",
+      "instead of rejecting with Busy\n"
+      "  --trace-sample-every N  record a span breakdown for requests whose\n"
+      "                        trace id is divisible by N (default 1024;\n"
+      "                        0 disables tracing)\n"
+      "  --log-traces          print each sampled span breakdown to stderr\n",
       argv0);
 }
 
@@ -112,6 +116,11 @@ int main(int argc, char** argv) {
           std::atoll(next("--max-response-buffer-bytes")));
     } else if (arg == "--no-stall-rejection") {
       opts.reject_writes_on_stall = false;
+    } else if (arg == "--trace-sample-every") {
+      opts.trace_sample_every =
+          static_cast<uint64_t>(std::atoll(next("--trace-sample-every")));
+    } else if (arg == "--log-traces") {
+      opts.log_sampled_traces = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

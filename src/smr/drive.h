@@ -24,6 +24,10 @@
 #include "util/slice.h"
 #include "util/status.h"
 
+namespace sealdb::obs {
+class MetricsRegistry;
+}
+
 namespace sealdb::smr {
 
 class Drive {
@@ -39,7 +43,10 @@ class Drive {
   virtual const Geometry& geometry() const = 0;
   uint64_t capacity() const { return geometry().capacity_bytes; }
 
-  virtual const DeviceStats& stats() const = 0;
+  // Snapshot of the drive's traffic counters. The counters themselves live
+  // in a MetricsRegistry (the one passed to the factory, or a private one)
+  // as the sealdb_device_* family; this struct is a rendering of them.
+  virtual DeviceStats stats() const = 0;
 
   // True iff every block of [offset, offset+n) holds valid data.
   virtual bool IsValid(uint64_t offset, uint64_t n) const = 0;
@@ -76,8 +83,11 @@ class MediaStore {
   }
 };
 
-std::unique_ptr<Drive> NewHddDrive(const Geometry& geo,
-                                   const LatencyParams& lat);
+// All factories take an optional metrics registry; traffic counters are
+// registered there (or in a drive-private registry when null).
+std::unique_ptr<Drive> NewHddDrive(
+    const Geometry& geo, const LatencyParams& lat,
+    std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
 struct FixedBandOptions {
   uint64_t band_bytes = 40ull * 1024 * 1024;  // paper default 40 MB
@@ -97,9 +107,9 @@ class FixedBandDrive : public Drive {
   virtual ZoneInfo Zone(uint64_t index) const = 0;
 };
 
-std::unique_ptr<FixedBandDrive> NewFixedBandDrive(const Geometry& geo,
-                                                  const LatencyParams& lat,
-                                                  const FixedBandOptions& opt);
+std::unique_ptr<FixedBandDrive> NewFixedBandDrive(
+    const Geometry& geo, const LatencyParams& lat, const FixedBandOptions& opt,
+    std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
 // Raw write-anywhere HM-SMR drive (shingled tracks only).
 class ShingledDisk : public Drive {
@@ -111,7 +121,8 @@ class ShingledDisk : public Drive {
   virtual uint64_t ValidFrontier() const = 0;  // end of last valid block
 };
 
-std::unique_ptr<ShingledDisk> NewShingledDisk(const Geometry& geo,
-                                              const LatencyParams& lat);
+std::unique_ptr<ShingledDisk> NewShingledDisk(
+    const Geometry& geo, const LatencyParams& lat,
+    std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
 
 }  // namespace sealdb::smr

@@ -6,8 +6,10 @@
 
 namespace sealdb::smr {
 
-FaultInjectionDrive::FaultInjectionDrive(std::unique_ptr<Drive> target)
-    : target_(std::move(target)) {}
+FaultInjectionDrive::FaultInjectionDrive(
+    std::unique_ptr<Drive> target,
+    std::shared_ptr<obs::MetricsRegistry> registry)
+    : target_(std::move(target)), met_(std::move(registry)) {}
 
 void FaultInjectionDrive::InjectReadError(uint64_t offset, uint64_t n,
                                           int remaining_failures) {
@@ -54,7 +56,7 @@ void FaultInjectionDrive::CrashAfterBlockWrites(uint64_t n) {
 void FaultInjectionDrive::PowerOff() {
   if (!crashed_) {
     crashed_ = true;
-    crashes_++;
+    met_.crashes->Inc();
   }
   crash_after_blocks_ = -1;
 }
@@ -84,16 +86,16 @@ void FaultInjectionDrive::HealWrittenBlocks(uint64_t offset, uint64_t n) {
 
 Status FaultInjectionDrive::Read(uint64_t offset, uint64_t n, char* scratch) {
   if (crashed_) {
-    read_errors_++;
+    met_.read_errors->Inc();
     return Status::IOError("fault injection: drive powered off");
   }
   if (read_error_probability_ > 0.0 &&
       rng_.NextDouble() < read_error_probability_) {
-    read_errors_++;
+    met_.read_errors->Inc();
     return Status::IOError("fault injection: transient read error");
   }
   if (ConsumeReadFault(offset, n)) {
-    read_errors_++;
+    met_.read_errors->Inc();
     return Status::IOError("fault injection: unreadable block");
   }
   return target_->Read(offset, n, scratch);
@@ -105,12 +107,12 @@ Status FaultInjectionDrive::Write(uint64_t offset, const Slice& data) {
     std::this_thread::sleep_for(std::chrono::microseconds(delay));
   }
   if (crashed_) {
-    write_errors_++;
+    met_.write_errors->Inc();
     return Status::IOError("fault injection: drive powered off");
   }
   if (write_error_enabled_ && offset < write_error_end_ &&
       offset + data.size() > write_error_begin_) {
-    write_errors_++;
+    met_.write_errors->Inc();
     return Status::IOError("fault injection: write error");
   }
 
@@ -150,11 +152,11 @@ Status FaultInjectionDrive::Write(uint64_t offset, const Slice& data) {
     HealWrittenBlocks(offset, keep * block);
   }
   if (!crash && crash_after_blocks_ >= 0) crash_after_blocks_ -= keep;
-  if (torn) torn_writes_++;
+  if (torn) met_.torn_writes->Inc();
   if (crash) {
     crash_after_blocks_ = -1;
     crashed_ = true;
-    crashes_++;
+    met_.crashes->Inc();
     return Status::IOError("fault injection: power failure during write");
   }
   return Status::IOError("fault injection: torn write");
@@ -167,13 +169,13 @@ Status FaultInjectionDrive::Trim(uint64_t offset, uint64_t n) {
   return target_->Trim(offset, n);
 }
 
-const DeviceStats& FaultInjectionDrive::stats() const {
-  merged_stats_ = target_->stats();
-  merged_stats_.read_errors = read_errors_;
-  merged_stats_.write_errors = write_errors_;
-  merged_stats_.torn_writes = torn_writes_;
-  merged_stats_.crashes = crashes_;
-  return merged_stats_;
+DeviceStats FaultInjectionDrive::stats() const {
+  DeviceStats s = target_->stats();
+  s.read_errors = met_.read_errors->Value();
+  s.write_errors = met_.write_errors->Value();
+  s.torn_writes = met_.torn_writes->Value();
+  s.crashes = met_.crashes->Value();
+  return s;
 }
 
 }  // namespace sealdb::smr

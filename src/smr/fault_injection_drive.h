@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 
+#include "smr/device_metrics.h"
 #include "smr/drive.h"
 #include "util/random.h"
 
@@ -31,7 +32,12 @@ namespace sealdb::smr {
 
 class FaultInjectionDrive final : public Drive {
  public:
-  explicit FaultInjectionDrive(std::unique_ptr<Drive> target);
+  // Share the target drive's registry so the fault counters land in the
+  // same sealdb_device_faults_total family the exposition renders; a null
+  // registry keeps them in a decorator-private one.
+  explicit FaultInjectionDrive(
+      std::unique_ptr<Drive> target,
+      std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
   ~FaultInjectionDrive() override = default;
 
   // ---- fault programming ----
@@ -87,7 +93,7 @@ class FaultInjectionDrive final : public Drive {
   Status Write(uint64_t offset, const Slice& data) override;
   Status Trim(uint64_t offset, uint64_t n) override;
   const Geometry& geometry() const override { return target_->geometry(); }
-  const DeviceStats& stats() const override;
+  DeviceStats stats() const override;
   bool IsValid(uint64_t offset, uint64_t n) const override {
     return target_->IsValid(offset, n);
   }
@@ -118,13 +124,10 @@ class FaultInjectionDrive final : public Drive {
   bool crashed_ = false;
 
   uint64_t blocks_written_ = 0;
-  uint64_t read_errors_ = 0;
-  uint64_t write_errors_ = 0;
-  uint64_t torn_writes_ = 0;
-  uint64_t crashes_ = 0;
 
-  // stats() merges the target's counters with the fault counters.
-  mutable DeviceStats merged_stats_;
+  // Fault counters; stats() overlays them on the target's snapshot (the
+  // inner drive never increments the fault metrics itself).
+  DeviceMetrics met_;
 };
 
 }  // namespace sealdb::smr

@@ -2,6 +2,7 @@
 #include <cassert>
 #include <vector>
 
+#include "smr/device_metrics.h"
 #include "smr/drive.h"
 
 namespace sealdb::smr {
@@ -16,11 +17,13 @@ namespace {
 class FixedBandDriveImpl final : public FixedBandDrive {
  public:
   FixedBandDriveImpl(const Geometry& geo, const LatencyParams& lat,
-                     const FixedBandOptions& opt)
+                     const FixedBandOptions& opt,
+                     std::shared_ptr<obs::MetricsRegistry> registry)
       : geo_(geo),
         band_bytes_(opt.band_bytes),
         media_(geo),
-        latency_(lat, geo.capacity_bytes) {
+        latency_(lat, geo.capacity_bytes),
+        met_(std::move(registry)) {
     assert(band_bytes_ % geo_.block_bytes == 0);
     const uint64_t shingled = geo_.capacity_bytes - geo_.conventional_bytes;
     write_pointers_.assign((shingled + band_bytes_ - 1) / band_bytes_, 0);
@@ -38,20 +41,20 @@ class FixedBandDriveImpl final : public FixedBandDrive {
         FlushOpenBand();
       }
     }
-    if (latency_.head_position() != offset) stats_.seeks++;
-    stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
-    stats_.position_seconds += latency_.last_position_seconds();
+    if (latency_.head_position() != offset) met_.seeks->Inc();
+    met_.busy->AddSeconds(latency_.Access(offset, n, /*is_write=*/false));
+    met_.position->AddSeconds(latency_.last_position_seconds());
     media_.Read(offset, n, scratch);
-    stats_.read_ops++;
-    stats_.logical_bytes_read += n;
-    stats_.physical_bytes_read += n;
+    met_.read_ops->Inc();
+    met_.logical_read->Add(n);
+    met_.physical_read->Add(n);
     return Status::OK();
   }
 
   Status Write(uint64_t offset, const Slice& data) override {
     if (Status s = CheckRange(offset, data.size()); !s.ok()) return s;
-    stats_.write_ops++;
-    stats_.logical_bytes_written += data.size();
+    met_.write_ops->Inc();
+    met_.logical_write->Add(data.size());
 
     // Split the request at band boundaries; each piece is served by the
     // band it falls in.
@@ -96,7 +99,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
   }
 
   const Geometry& geometry() const override { return geo_; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override { return met_.ToStats(); }
 
   bool IsValid(uint64_t offset, uint64_t n) const override {
     return media_.AllValid(offset, n);
@@ -127,11 +130,11 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
   void WriteConventional(uint64_t offset, const Slice& data) {
     // Conventional (metadata) region: absorbed by the write cache.
-    stats_.busy_seconds +=
-        latency_.AccessCached(data.size(), /*is_write=*/true);
+    met_.busy->AddSeconds(
+        latency_.AccessCached(data.size(), /*is_write=*/true));
     media_.Write(offset, data);
     media_.MarkValid(offset, data.size());
-    stats_.physical_bytes_written += data.size();
+    met_.physical_write->Add(data.size());
   }
 
   // A band with a buffered read-modify-write in flight. The translation
@@ -148,11 +151,11 @@ class FixedBandDriveImpl final : public FixedBandDrive {
     assert(open_band_ >= 0);
     const uint64_t band = static_cast<uint64_t>(open_band_);
     const uint64_t start = BandStart(band);
-    stats_.seeks++;
-    stats_.busy_seconds +=
-        latency_.Access(start, open_salvage_, /*is_write=*/true);
-    stats_.position_seconds += latency_.last_position_seconds();
-    stats_.physical_bytes_written += open_salvage_;
+    met_.seeks->Inc();
+    met_.busy->AddSeconds(
+        latency_.Access(start, open_salvage_, /*is_write=*/true));
+    met_.position->AddSeconds(latency_.last_position_seconds());
+    met_.physical_write->Add(open_salvage_);
     write_pointers_[band] = std::max(write_pointers_[band], open_salvage_);
     open_band_ = -1;
     open_salvage_ = 0;
@@ -186,25 +189,25 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
     if (!damages_valid) {
       // Safe in-order (or gap-skipping) write.
-      if (latency_.head_position() != offset) stats_.seeks++;
-      stats_.busy_seconds +=
-          latency_.Access(offset, data.size(), /*is_write=*/true);
-      stats_.position_seconds += latency_.last_position_seconds();
+      if (latency_.head_position() != offset) met_.seeks->Inc();
+      met_.busy->AddSeconds(
+          latency_.Access(offset, data.size(), /*is_write=*/true));
+      met_.position->AddSeconds(latency_.last_position_seconds());
       media_.Write(offset, data);
       media_.MarkValid(offset, data.size());
-      stats_.physical_bytes_written += data.size();
+      met_.physical_write->Add(data.size());
       wp = std::max(wp, end_rel);
       return;
     }
 
     // Stage a read-modify-write: read the valid prefix [start, start+wp)
     // now, buffer updates, write back when the band closes.
-    stats_.rmw_ops++;
-    stats_.seeks++;
+    met_.rmw_ops->Inc();
+    met_.seeks->Inc();
     const uint64_t salvage = std::max(wp, end_rel);
-    stats_.busy_seconds += latency_.Access(start, wp, /*is_write=*/false);
-    stats_.position_seconds += latency_.last_position_seconds();
-    stats_.physical_bytes_read += wp;
+    met_.busy->AddSeconds(latency_.Access(start, wp, /*is_write=*/false));
+    met_.position->AddSeconds(latency_.last_position_seconds());
+    met_.physical_read->Add(wp);
     media_.Write(offset, data);
     media_.MarkValid(offset, data.size());
     open_band_ = static_cast<int64_t>(band);
@@ -225,7 +228,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
   uint64_t band_bytes_;
   MediaStore media_;
   LatencyModel latency_;
-  DeviceStats stats_;
+  DeviceMetrics met_;
   std::vector<uint64_t> write_pointers_;  // relative, one per band
 
   // Staged band modification (see FlushOpenBand).
@@ -235,10 +238,11 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
 }  // namespace
 
-std::unique_ptr<FixedBandDrive> NewFixedBandDrive(const Geometry& geo,
-                                                  const LatencyParams& lat,
-                                                  const FixedBandOptions& opt) {
-  return std::make_unique<FixedBandDriveImpl>(geo, lat, opt);
+std::unique_ptr<FixedBandDrive> NewFixedBandDrive(
+    const Geometry& geo, const LatencyParams& lat, const FixedBandOptions& opt,
+    std::shared_ptr<obs::MetricsRegistry> registry) {
+  return std::make_unique<FixedBandDriveImpl>(geo, lat, opt,
+                                              std::move(registry));
 }
 
 }  // namespace sealdb::smr

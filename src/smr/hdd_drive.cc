@@ -1,3 +1,4 @@
+#include "smr/device_metrics.h"
 #include "smr/drive.h"
 
 namespace sealdb::smr {
@@ -9,18 +10,22 @@ namespace {
 // the Table II "HDD" column.
 class HddDrive final : public Drive {
  public:
-  HddDrive(const Geometry& geo, const LatencyParams& lat)
-      : geo_(geo), media_(geo), latency_(lat, geo.capacity_bytes) {}
+  HddDrive(const Geometry& geo, const LatencyParams& lat,
+           std::shared_ptr<obs::MetricsRegistry> registry)
+      : geo_(geo),
+        media_(geo),
+        latency_(lat, geo.capacity_bytes),
+        met_(std::move(registry)) {}
 
   Status Read(uint64_t offset, uint64_t n, char* scratch) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
-    if (latency_.head_position() != offset) stats_.seeks++;
-    stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
-    stats_.position_seconds += latency_.last_position_seconds();
+    if (latency_.head_position() != offset) met_.seeks->Inc();
+    met_.busy->AddSeconds(latency_.Access(offset, n, /*is_write=*/false));
+    met_.position->AddSeconds(latency_.last_position_seconds());
     media_.Read(offset, n, scratch);
-    stats_.read_ops++;
-    stats_.logical_bytes_read += n;
-    stats_.physical_bytes_read += n;
+    met_.read_ops->Inc();
+    met_.logical_read->Add(n);
+    met_.physical_read->Add(n);
     return Status::OK();
   }
 
@@ -28,19 +33,19 @@ class HddDrive final : public Drive {
     if (Status s = CheckRange(offset, data.size()); !s.ok()) return s;
     if (offset + data.size() <= geo_.conventional_bytes) {
       // Metadata region: absorbed by the write cache.
-      stats_.busy_seconds +=
-          latency_.AccessCached(data.size(), /*is_write=*/true);
+      met_.busy->AddSeconds(
+          latency_.AccessCached(data.size(), /*is_write=*/true));
     } else {
-      if (latency_.head_position() != offset) stats_.seeks++;
-      stats_.busy_seconds +=
-          latency_.Access(offset, data.size(), /*is_write=*/true);
-      stats_.position_seconds += latency_.last_position_seconds();
+      if (latency_.head_position() != offset) met_.seeks->Inc();
+      met_.busy->AddSeconds(
+          latency_.Access(offset, data.size(), /*is_write=*/true));
+      met_.position->AddSeconds(latency_.last_position_seconds());
     }
     media_.Write(offset, data);
     media_.MarkValid(offset, data.size());
-    stats_.write_ops++;
-    stats_.logical_bytes_written += data.size();
-    stats_.physical_bytes_written += data.size();
+    met_.write_ops->Inc();
+    met_.logical_write->Add(data.size());
+    met_.physical_write->Add(data.size());
     return Status::OK();
   }
 
@@ -51,7 +56,7 @@ class HddDrive final : public Drive {
   }
 
   const Geometry& geometry() const override { return geo_; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override { return met_.ToStats(); }
 
   bool IsValid(uint64_t offset, uint64_t n) const override {
     return media_.AllValid(offset, n);
@@ -71,14 +76,15 @@ class HddDrive final : public Drive {
   Geometry geo_;
   MediaStore media_;
   LatencyModel latency_;
-  DeviceStats stats_;
+  DeviceMetrics met_;
 };
 
 }  // namespace
 
-std::unique_ptr<Drive> NewHddDrive(const Geometry& geo,
-                                   const LatencyParams& lat) {
-  return std::make_unique<HddDrive>(geo, lat);
+std::unique_ptr<Drive> NewHddDrive(
+    const Geometry& geo, const LatencyParams& lat,
+    std::shared_ptr<obs::MetricsRegistry> registry) {
+  return std::make_unique<HddDrive>(geo, lat, std::move(registry));
 }
 
 }  // namespace sealdb::smr

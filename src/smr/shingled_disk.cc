@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "smr/device_metrics.h"
 #include "smr/drive.h"
 
 namespace sealdb::smr {
@@ -17,18 +18,22 @@ namespace {
 // safety invariant SEALDB's dynamic band management must uphold.
 class ShingledDiskImpl final : public ShingledDisk {
  public:
-  ShingledDiskImpl(const Geometry& geo, const LatencyParams& lat)
-      : geo_(geo), media_(geo), latency_(lat, geo.capacity_bytes) {}
+  ShingledDiskImpl(const Geometry& geo, const LatencyParams& lat,
+                   std::shared_ptr<obs::MetricsRegistry> registry)
+      : geo_(geo),
+        media_(geo),
+        latency_(lat, geo.capacity_bytes),
+        met_(std::move(registry)) {}
 
   Status Read(uint64_t offset, uint64_t n, char* scratch) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
-    if (latency_.head_position() != offset) stats_.seeks++;
-    stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/false);
-    stats_.position_seconds += latency_.last_position_seconds();
+    if (latency_.head_position() != offset) met_.seeks->Inc();
+    met_.busy->AddSeconds(latency_.Access(offset, n, /*is_write=*/false));
+    met_.position->AddSeconds(latency_.last_position_seconds());
     media_.Read(offset, n, scratch);
-    stats_.read_ops++;
-    stats_.logical_bytes_read += n;
-    stats_.physical_bytes_read += n;
+    met_.read_ops->Inc();
+    met_.logical_read->Add(n);
+    met_.physical_read->Add(n);
     return Status::OK();
   }
 
@@ -44,6 +49,7 @@ class ShingledDiskImpl final : public ShingledDisk {
 
       // Rule 1: never overwrite valid data in place.
       if (media_.AnyValid(shingled_begin, shingled_len)) {
+        met_.guard_violations->Inc();
         return Status::Corruption(
             "shingled write would overwrite valid data in place");
       }
@@ -76,6 +82,7 @@ class ShingledDiskImpl final : public ShingledDisk {
                       (unsigned long long)(b / geo_.track_bytes));
           }
         }
+        met_.guard_violations->Inc();
         return Status::Corruption(
             "shingled write would damage valid data in following tracks");
       }
@@ -83,20 +90,20 @@ class ShingledDiskImpl final : public ShingledDisk {
 
     if (offset + n <= geo_.conventional_bytes) {
       // Metadata region: absorbed by the write cache.
-      stats_.busy_seconds += latency_.AccessCached(n, /*is_write=*/true);
+      met_.busy->AddSeconds(latency_.AccessCached(n, /*is_write=*/true));
     } else {
-      if (latency_.head_position() != offset) stats_.seeks++;
-      stats_.busy_seconds += latency_.Access(offset, n, /*is_write=*/true);
-      stats_.position_seconds += latency_.last_position_seconds();
+      if (latency_.head_position() != offset) met_.seeks->Inc();
+      met_.busy->AddSeconds(latency_.Access(offset, n, /*is_write=*/true));
+      met_.position->AddSeconds(latency_.last_position_seconds());
     }
     media_.Write(offset, data);
     const uint64_t already_valid = media_.CountValidBytes(offset, n);
     media_.MarkValid(offset, n);
     valid_bytes_ += n - already_valid;
     frontier_hint_ = std::max(frontier_hint_, offset + n);
-    stats_.write_ops++;
-    stats_.logical_bytes_written += n;
-    stats_.physical_bytes_written += n;
+    met_.write_ops->Inc();
+    met_.logical_write->Add(n);
+    met_.physical_write->Add(n);
     return Status::OK();
   }
 
@@ -108,7 +115,7 @@ class ShingledDiskImpl final : public ShingledDisk {
   }
 
   const Geometry& geometry() const override { return geo_; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override { return met_.ToStats(); }
 
   bool IsValid(uint64_t offset, uint64_t n) const override {
     return media_.AllValid(offset, n);
@@ -134,16 +141,17 @@ class ShingledDiskImpl final : public ShingledDisk {
   Geometry geo_;
   MediaStore media_;
   LatencyModel latency_;
-  DeviceStats stats_;
+  DeviceMetrics met_;
   uint64_t valid_bytes_ = 0;
   uint64_t frontier_hint_ = 0;
 };
 
 }  // namespace
 
-std::unique_ptr<ShingledDisk> NewShingledDisk(const Geometry& geo,
-                                              const LatencyParams& lat) {
-  return std::make_unique<ShingledDiskImpl>(geo, lat);
+std::unique_ptr<ShingledDisk> NewShingledDisk(
+    const Geometry& geo, const LatencyParams& lat,
+    std::shared_ptr<obs::MetricsRegistry> registry) {
+  return std::make_unique<ShingledDiskImpl>(geo, lat, std::move(registry));
 }
 
 }  // namespace sealdb::smr

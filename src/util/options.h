@@ -8,6 +8,10 @@
 #include <cstdint>
 #include <memory>
 
+namespace sealdb::obs {
+class MetricsRegistry;
+}
+
 namespace sealdb {
 
 class Cache;
@@ -103,6 +107,12 @@ struct Options {
   // front-end reports total memory pressure through one property. Shared
   // so the owner can keep updating it after Open() copies the Options.
   std::shared_ptr<std::atomic<uint64_t>> external_memory_bytes;
+
+  // Metrics registry the engine publishes its sealdb_engine_* counters
+  // into. Shared with the drive/allocator/server by the preset stacks so
+  // one exposition covers the whole process; when null the DB creates a
+  // private registry (counters still drive GetDbStats / sealdb.stats).
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
 
   // Stream compaction inputs through a double-buffered readahead reader
   // (large chunked extent reads with the next chunk prefetched during the

@@ -438,7 +438,8 @@ TEST_F(AdmissionTest, DuplicateWriteResubmissionIsNotReapplied) {
     char header[net::kFrameHeaderBytes];
     Status io = net::ReadFully(fd, header, sizeof(header));
     if (!io.ok()) return io;
-    const uint32_t payload_len = DecodeFixed32(header + 12);
+    const uint32_t payload_len =
+        DecodeFixed32(header + net::kPayloadLenOffset);
     std::string payload(payload_len, '\0');
     if (payload_len > 0) {
       io = net::ReadFully(fd, payload.data(), payload_len);

@@ -106,7 +106,7 @@ TEST(WireFormat, CorruptionDetected) {
   }
   {
     std::string bad = good;
-    bad[2] = 99;  // version
+    bad[net::kVersionOffset] = 99;
     Slice input(bad);
     net::FrameHeader h;
     Slice p;
@@ -123,7 +123,8 @@ TEST(WireFormat, CorruptionDetected) {
   }
   {
     std::string bad = good;
-    EncodeFixed32(bad.data() + 12, 64 << 20);  // absurd payload length
+    EncodeFixed32(bad.data() + net::kPayloadLenOffset,
+                  64 << 20);  // absurd payload length
     Slice input(bad);
     net::FrameHeader h;
     Slice p;
@@ -290,9 +291,10 @@ TEST_F(ServerTest, MalformedFramesGetTypedErrorsOrClose) {
 
     char header[net::kFrameHeaderBytes];
     ASSERT_TRUE(net::ReadFully(fd, header, sizeof(header)).ok());
-    EXPECT_EQ(static_cast<uint8_t>(header[3]),
+    EXPECT_EQ(static_cast<uint8_t>(header[net::kOpcodeOffset]),
               net::kOpError | net::kResponseBit);
-    const uint32_t payload_len = DecodeFixed32(header + 12);
+    const uint32_t payload_len =
+        DecodeFixed32(header + net::kPayloadLenOffset);
     std::string payload(payload_len, 0);
     ASSERT_TRUE(net::ReadFully(fd, payload.data(), payload_len).ok());
     Slice in(payload);
