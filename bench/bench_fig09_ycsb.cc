@@ -6,7 +6,9 @@
 // makes the gains larger than under the uniform micro-benchmark.
 //
 // We load a scaled database and run scaled op counts; throughput is ops
-// per second of simulated device time.
+// per second of simulated device time. A fourth column runs SEALDB with
+// the keyspace hash-partitioned over 4 independent shards and a 4-thread
+// load phase (--shards/--load-threads override).
 #include "bench_common.h"
 #include "ycsb/runner.h"
 
@@ -17,21 +19,34 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   BenchParams params = BenchParams::FromFlags(flags);
   const uint64_t txn_ops = flags.GetInt("ops", params.read_ops);
+  const int shard_count = flags.GetInt("shards", 4);
+  const int load_threads = flags.GetInt("load_threads", 4);
 
-  const baselines::SystemKind kinds[] = {
-      baselines::SystemKind::kLevelDB,
-      baselines::SystemKind::kSMRDB,
-      baselines::SystemKind::kSEALDB,
+  struct SystemUnderTest {
+    const char* name;
+    baselines::SystemKind kind;
+    int shards;
+    int load_threads;
   };
+  const SystemUnderTest systems[] = {
+      {"LevelDB", baselines::SystemKind::kLevelDB, 1, 1},
+      {"SMRDB", baselines::SystemKind::kSMRDB, 1, 1},
+      {"SEALDB", baselines::SystemKind::kSEALDB, 1, 1},
+      {"SEALDB-shard", baselines::SystemKind::kSEALDB, shard_count,
+       load_threads},
+  };
+  constexpr int kSystems = 4;
   const char* workloads[] = {"Load", "A", "B", "C", "D", "E", "F"};
 
   // results[workload][system]
-  double results[7][3] = {};
+  double results[7][kSystems] = {};
 
   int sys_idx = 0;
-  for (baselines::SystemKind kind : kinds) {
+  for (const SystemUnderTest& sut : systems) {
+    baselines::StackConfig config = params.MakeConfig(sut.kind);
+    config.num_shards = sut.shards;
     std::unique_ptr<baselines::Stack> stack;
-    Status s = baselines::BuildStack(params.MakeConfig(kind), "/db", &stack);
+    Status s = baselines::BuildStack(config, "/db", &stack);
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -39,7 +54,7 @@ int main(int argc, char** argv) {
     ycsb::Runner runner(stack.get(), params.key_bytes, params.value_bytes());
 
     ycsb::RunResult load;
-    s = runner.Load(params.entries(), &load);
+    s = runner.Load(params.entries(), &load, sut.load_threads);
     if (!s.ok()) {
       std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
       return 1;
@@ -65,12 +80,14 @@ int main(int argc, char** argv) {
 
   PrintHeader("Fig. 9: YCSB throughput (ops/s, simulated device time; " +
               std::to_string(params.entries()) + " records, " +
-              std::to_string(txn_ops) + " ops/workload)");
-  std::printf("%-10s %14s %14s %14s %18s\n", "workload", "LevelDB", "SMRDB",
-              "SEALDB", "SEALDB/LevelDB");
+              std::to_string(txn_ops) + " ops/workload; SEALDB-shard = " +
+              std::to_string(shard_count) + " shards, " +
+              std::to_string(load_threads) + "-thread load)");
+  std::printf("%-10s %14s %14s %14s %14s %18s\n", "workload", "LevelDB",
+              "SMRDB", "SEALDB", "SEALDB-shard", "SEALDB/LevelDB");
   for (int w = 0; w < 7; w++) {
-    std::printf("%-10s %14.0f %14.0f %14.0f %18.2f\n", workloads[w],
-                results[w][0], results[w][1], results[w][2],
+    std::printf("%-10s %14.0f %14.0f %14.0f %14.0f %18.2f\n", workloads[w],
+                results[w][0], results[w][1], results[w][2], results[w][3],
                 results[w][0] > 0 ? results[w][2] / results[w][0] : 0.0);
   }
   std::printf(

@@ -1,11 +1,13 @@
-// Smoke benchmark for the set-parallel compaction executor. Runs the SEALDB
-// preset twice through a fill + random-read cycle — once in the seed's
-// single-threaded configuration (1 worker, per-block compaction reads, no
-// block cache) and once with the executor bundle (4 workers, double-buffered
-// extent readahead, shared LRU block cache) — and emits BENCH_smoke.json
-// with wall-clock and device-time ops/s, p50/p99 operation latency, the
-// device's seek/transfer time split, and the compaction-parallelism
-// high-water mark.
+// Smoke benchmark for the set-parallel compaction executor and the sharded
+// engine. Runs the SEALDB preset through a fill + random-read cycle in three
+// configurations — the seed's single-threaded setup (1 worker, per-block
+// compaction reads, no block cache), the executor bundle (4 workers,
+// double-buffered extent readahead, shared LRU block cache), and a sharded
+// stack (4 independent LSM shards, 4 client threads driving them
+// concurrently) — and emits BENCH_smoke.json with wall-clock and
+// device-time ops/s, p50/p99 operation latency, the device's seek/transfer
+// time split, the compaction-parallelism high-water mark, and (for the
+// sharded config) the per-shard compaction breakdown.
 //
 // Sustained ops/s follows the repo's performance currency (simulated device
 // seconds; see smr/latency_model.h): the drive is the bottleneck the paper
@@ -21,9 +23,11 @@
 //   --uniform   uniformly random reads instead of the hotspot mix
 //   --out=PATH  JSON output path (default BENCH_smoke.json)
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -72,6 +76,8 @@ void FillPercentiles(std::vector<uint32_t>& lat, PhaseResult* r) {
 struct ConfigResult {
   std::string label;
   int workers = 0;
+  int shards = 1;
+  int client_threads = 1;
   PhaseResult fill;
   PhaseResult read;
   double seek_seconds = 0.0;
@@ -79,34 +85,28 @@ struct ConfigResult {
   double busy_seconds = 0.0;
   uint64_t max_parallel_compactions = 0;
   uint64_t num_compactions = 0;
+  std::vector<uint64_t> shard_compactions;  // per shard, when shards > 1
   double wa = 0.0;   // engine write amplification
   double awa = 0.0;  // device auxiliary write amplification
   uint64_t guard_violations = 0;
 };
 
-// Sum a counter family across all its label sets (e.g. the per-level
-// sealdb_engine_compactions_total series).
-uint64_t SumCounterFamily(const std::vector<obs::MetricSample>& samples,
-                          const std::string& name) {
-  uint64_t total = 0;
-  for (const obs::MetricSample& s : samples) {
-    if (s.name == name) total += static_cast<uint64_t>(s.value);
-  }
-  return total;
-}
-
 ConfigResult RunConfig(const BenchParams& params, const std::string& label,
                        int workers, bool executor_features,
-                       bool uniform_reads) {
+                       bool uniform_reads, int num_shards,
+                       int client_threads) {
   ConfigResult out;
   out.label = label;
   out.workers = workers;
+  out.shards = num_shards;
+  out.client_threads = client_threads;
 
   StackConfig config = params.MakeConfig(SystemKind::kSEALDB);
   config.inline_compactions = false;
   config.max_background_compactions = workers;
   config.compaction_readahead = executor_features;
   config.enable_block_cache = executor_features;
+  config.num_shards = num_shards;
 
   std::unique_ptr<Stack> stack;
   Status s = BuildStack(config, "/bench_smoke", &stack);
@@ -116,81 +116,139 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
   }
   DB* db = stack->db();
   const uint64_t entries = params.entries();
+  const int nthreads = std::max(1, client_threads);
 
   // Fill: uniformly random key order, sustained (WaitForIdle counted, so a
   // backlog the single worker defers still shows up in its wall time).
+  // With client_threads > 1 the key stream is split over that many driver
+  // threads — writes to different shards contend on nothing above the
+  // drive model, so concurrent drivers keep every shard's pipeline fed.
   {
-    Random rnd(301);
-    std::vector<uint32_t> lat;
-    lat.reserve(entries);
-    WriteOptions wo;
+    std::vector<std::vector<uint32_t>> lats(nthreads);
+    std::vector<uint64_t> ops(nthreads, 0);
+    std::atomic<bool> failed{false};
     const double wall0 = NowSeconds();
     const double dev0 = stack->device_stats().busy_seconds;
-    for (uint64_t i = 0; i < entries; i++) {
-      const uint64_t id = rnd.Next64() % entries;
-      const std::string key = MakeKey(id, params.key_bytes);
-      const std::string value = MakeValue(i, params.value_bytes());
-      const double t0 = NowSeconds();
-      s = db->Put(wo, key, value);
-      lat.push_back(static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
-      if (!s.ok()) {
-        std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
-        break;
+    auto fill_worker = [&](int t) {
+      Random rnd(301 + t);
+      WriteOptions wo;
+      const uint64_t n = entries / nthreads +
+                         (static_cast<uint64_t>(t) < entries % nthreads ? 1
+                                                                        : 0);
+      lats[t].reserve(n);
+      for (uint64_t i = 0; i < n; i++) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        const uint64_t id = rnd.Next64() % entries;
+        const std::string key = MakeKey(id, params.key_bytes);
+        const std::string value = MakeValue(i, params.value_bytes());
+        const double t0 = NowSeconds();
+        const Status ps = db->Put(wo, key, value);
+        lats[t].push_back(
+            static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
+        if (!ps.ok()) {
+          std::fprintf(stderr, "put failed: %s\n", ps.ToString().c_str());
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+        ops[t]++;
       }
-      out.fill.ops++;
+    };
+    if (nthreads == 1) {
+      fill_worker(0);
+    } else {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < nthreads; t++) threads.emplace_back(fill_worker, t);
+      for (auto& th : threads) th.join();
     }
     const double drain0 = NowSeconds();
     db->WaitForIdle();
     out.fill.drain_seconds = NowSeconds() - drain0;
     out.fill.wall_seconds = NowSeconds() - wall0;
     out.fill.device_seconds = stack->device_stats().busy_seconds - dev0;
+    std::vector<uint32_t> lat;
+    for (int t = 0; t < nthreads; t++) {
+      out.fill.ops += ops[t];
+      lat.insert(lat.end(), lats[t].begin(), lats[t].end());
+    }
     FillPercentiles(lat, &out.fill);
   }
 
   // Point reads over the loaded keys: hotspot mix by default (see header),
-  // uniformly random with --uniform.
+  // uniformly random with --uniform. Same driver-thread split as the fill.
   {
-    Random rnd(401);
-    std::vector<uint32_t> lat;
-    lat.reserve(params.read_ops);
-    ReadOptions ro;
-    std::string value;
+    std::vector<std::vector<uint32_t>> lats(nthreads);
+    std::vector<uint64_t> ops(nthreads, 0);
     const uint64_t hot_span = std::max<uint64_t>(1, entries / 100);
     const double wall0 = NowSeconds();
     const double dev0 = stack->device_stats().busy_seconds;
-    for (uint64_t i = 0; i < params.read_ops; i++) {
-      uint64_t id;
-      if (uniform_reads || rnd.Uniform(100) >= 95) {
-        id = rnd.Next64() % entries;
-      } else {
-        id = rnd.Next64() % hot_span;
+    auto read_worker = [&](int t) {
+      Random rnd(401 + t);
+      ReadOptions ro;
+      std::string value;
+      const uint64_t n = params.read_ops / nthreads +
+                         (static_cast<uint64_t>(t) < params.read_ops % nthreads
+                              ? 1
+                              : 0);
+      lats[t].reserve(n);
+      for (uint64_t i = 0; i < n; i++) {
+        uint64_t id;
+        if (uniform_reads || rnd.Uniform(100) >= 95) {
+          id = rnd.Next64() % entries;
+        } else {
+          id = rnd.Next64() % hot_span;
+        }
+        const std::string key = MakeKey(id, params.key_bytes);
+        const double t0 = NowSeconds();
+        db->Get(ro, key, &value);
+        lats[t].push_back(
+            static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
+        ops[t]++;
       }
-      const std::string key = MakeKey(id, params.key_bytes);
-      const double t0 = NowSeconds();
-      db->Get(ro, key, &value);
-      lat.push_back(static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
-      out.read.ops++;
+    };
+    if (nthreads == 1) {
+      read_worker(0);
+    } else {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < nthreads; t++) threads.emplace_back(read_worker, t);
+      for (auto& th : threads) th.join();
     }
     out.read.wall_seconds = NowSeconds() - wall0;
     out.read.device_seconds = stack->device_stats().busy_seconds - dev0;
+    std::vector<uint32_t> lat;
+    for (int t = 0; t < nthreads; t++) {
+      out.read.ops += ops[t];
+      lat.insert(lat.end(), lats[t].begin(), lats[t].end());
+    }
     FillPercentiles(lat, &out.read);
   }
 
   // Final figures come straight from the stack's metrics registry — the
   // same counters the METRICS opcode and sealdb.stats render, so the
-  // bench JSON cannot drift from the live exposition.
+  // bench JSON cannot drift from the live exposition. Family helpers
+  // aggregate across label sets (per-level, and per-shard when sharded).
   const obs::MetricsRegistry& reg = *stack->metrics_registry();
-  out.busy_seconds = reg.time_value("sealdb_device_busy_seconds_total");
-  out.seek_seconds = reg.time_value("sealdb_device_position_seconds_total");
+  out.busy_seconds = reg.time_family_sum("sealdb_device_busy_seconds_total");
+  out.seek_seconds =
+      reg.time_family_sum("sealdb_device_position_seconds_total");
   out.transfer_seconds = out.busy_seconds - out.seek_seconds;
+  // Shards peak independently; the stack-wide high-water mark is the
+  // largest any one engine saw, not the sum of asynchronous peaks.
   out.max_parallel_compactions = static_cast<uint64_t>(
-      reg.gauge_value("sealdb_engine_max_parallel_compactions"));
-  out.wa = reg.gauge_value("sealdb_engine_write_amplification");
+      reg.gauge_family_max("sealdb_engine_max_parallel_compactions"));
+  // WA must be aggregated from byte totals, not averaged over per-shard
+  // gauges; DbStats sums the per-shard fields before taking the ratio.
+  out.wa = stack->wa();
   out.awa = reg.gauge_value("sealdb_device_aux_write_amplification");
   out.guard_violations =
-      reg.counter_value("sealdb_smr_guard_violations_total");
+      reg.counter_family_sum("sealdb_smr_guard_violations_total");
   out.num_compactions =
-      SumCounterFamily(reg.Snapshot(), "sealdb_engine_compactions_total");
+      reg.counter_family_sum("sealdb_engine_compactions_total");
+  if (num_shards > 1) {
+    for (int i = 0; i < num_shards; i++) {
+      out.shard_compactions.push_back(reg.counter_family_sum(
+          "sealdb_engine_compactions_total", {{"shard", std::to_string(i)}}));
+    }
+  }
   return out;
 }
 
@@ -210,8 +268,10 @@ void EmitPhase(std::FILE* f, const char* name, const PhaseResult& r,
 }
 
 void EmitConfig(std::FILE* f, const ConfigResult& r, bool trailing_comma) {
-  std::fprintf(f, "  {\n    \"label\": \"%s\",\n    \"workers\": %d,\n",
-               r.label.c_str(), r.workers);
+  std::fprintf(f,
+               "  {\n    \"label\": \"%s\",\n    \"workers\": %d,\n"
+               "    \"shards\": %d,\n    \"client_threads\": %d,\n",
+               r.label.c_str(), r.workers, r.shards, r.client_threads);
   EmitPhase(f, "fill", r.fill, true);
   EmitPhase(f, "read", r.read, true);
   std::fprintf(f,
@@ -219,11 +279,19 @@ void EmitConfig(std::FILE* f, const ConfigResult& r, bool trailing_comma) {
                "\"seek_seconds\": %.4f, \"transfer_seconds\": %.4f},\n"
                "    \"wa\": %.3f,\n    \"awa\": %.3f,\n"
                "    \"guard_violations\": %llu,\n"
-               "    \"num_compactions\": %llu,\n"
-               "    \"max_parallel_compactions\": %llu\n  }%s\n",
+               "    \"num_compactions\": %llu,\n",
                r.busy_seconds, r.seek_seconds, r.transfer_seconds, r.wa,
                r.awa, static_cast<unsigned long long>(r.guard_violations),
-               static_cast<unsigned long long>(r.num_compactions),
+               static_cast<unsigned long long>(r.num_compactions));
+  if (!r.shard_compactions.empty()) {
+    std::fprintf(f, "    \"shard_compactions\": [");
+    for (size_t i = 0; i < r.shard_compactions.size(); i++) {
+      std::fprintf(f, "%s%llu", i > 0 ? ", " : "",
+                   static_cast<unsigned long long>(r.shard_compactions[i]));
+    }
+    std::fprintf(f, "],\n");
+  }
+  std::fprintf(f, "    \"max_parallel_compactions\": %llu\n  }%s\n",
                static_cast<unsigned long long>(r.max_parallel_compactions),
                trailing_comma ? "," : "");
 }
@@ -243,12 +311,18 @@ int Run(int argc, char** argv) {
 
   const bool uniform_reads = flags.GetBool("uniform", false);
 
-  // Baseline: the seed's single-threaded configuration. Treatment: this
-  // PR's executor bundle with four workers on the same simulated drive.
+  // Baseline: the seed's single-threaded configuration. Treatments: the
+  // executor bundle with four workers, and the sharded engine (4 shards,
+  // 4 driver threads) on the same simulated drive.
   const ConfigResult serial =
-      RunConfig(params, "single-threaded-seed", 1, false, uniform_reads);
+      RunConfig(params, "single-threaded-seed", 1, false, uniform_reads,
+                /*num_shards=*/1, /*client_threads=*/1);
   const ConfigResult parallel =
-      RunConfig(params, "executor-4w", 4, true, uniform_reads);
+      RunConfig(params, "executor-4w", 4, true, uniform_reads,
+                /*num_shards=*/1, /*client_threads=*/1);
+  const ConfigResult sharded =
+      RunConfig(params, "sharded-4", 4, true, uniform_reads,
+                /*num_shards=*/4, /*client_threads=*/4);
 
   auto sustained = [](const ConfigResult& r) {
     const double dev = r.fill.device_seconds + r.read.device_seconds;
@@ -264,11 +338,24 @@ int Run(int argc, char** argv) {
                                   ? sustained_wall(parallel) /
                                         sustained_wall(serial)
                                   : 0.0;
+  const double sharded_speedup =
+      sustained(serial) > 0 ? sustained(sharded) / sustained(serial) : 0.0;
+  const double sharded_wall_speedup =
+      sustained_wall(serial) > 0
+          ? sustained_wall(sharded) / sustained_wall(serial)
+          : 0.0;
+  const double sharded_fill_wall_speedup =
+      serial.fill.wall_ops_per_second() > 0
+          ? sharded.fill.wall_ops_per_second() /
+                serial.fill.wall_ops_per_second()
+          : 0.0;
 
-  for (const ConfigResult* r : {&serial, &parallel}) {
-    char title[64];
-    std::snprintf(title, sizeof(title), "%s (workers=%d)", r->label.c_str(),
-                  r->workers);
+  for (const ConfigResult* r : {&serial, &parallel, &sharded}) {
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "%s (workers=%d, shards=%d, client_threads=%d)",
+                  r->label.c_str(), r->workers, r->shards,
+                  r->client_threads);
     PrintHeader(title);
     PrintKV("fill device ops/s", r->fill.device_ops_per_second(), "");
     PrintKV("read device ops/s", r->read.device_ops_per_second(), "");
@@ -284,9 +371,12 @@ int Run(int argc, char** argv) {
     PrintKV("max parallel compactions",
             static_cast<double>(r->max_parallel_compactions), "");
   }
-  PrintHeader("comparison");
-  PrintKV("sustained device ops/s speedup", speedup, "x");
-  PrintKV("sustained wall ops/s speedup", wall_speedup, "x");
+  PrintHeader("comparison (vs single-threaded-seed)");
+  PrintKV("executor device ops/s speedup", speedup, "x");
+  PrintKV("executor wall ops/s speedup", wall_speedup, "x");
+  PrintKV("sharded device ops/s speedup", sharded_speedup, "x");
+  PrintKV("sharded wall ops/s speedup", sharded_wall_speedup, "x");
+  PrintKV("sharded fill wall ops/s speedup", sharded_fill_wall_speedup, "x");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -299,11 +389,16 @@ int Run(int argc, char** argv) {
                static_cast<unsigned long long>(params.scale),
                static_cast<unsigned long long>(params.load_mb));
   EmitConfig(f, serial, true);
-  EmitConfig(f, parallel, false);
+  EmitConfig(f, parallel, true);
+  EmitConfig(f, sharded, false);
   std::fprintf(f,
                "],\n\"sustained_device_ops_speedup\": %.3f,\n"
-               "\"sustained_wall_ops_speedup\": %.3f\n}\n",
-               speedup, wall_speedup);
+               "\"sustained_wall_ops_speedup\": %.3f,\n"
+               "\"sharded_device_ops_speedup\": %.3f,\n"
+               "\"sharded_wall_ops_speedup\": %.3f,\n"
+               "\"sharded_fill_wall_ops_speedup\": %.3f\n}\n",
+               speedup, wall_speedup, sharded_speedup, sharded_wall_speedup,
+               sharded_fill_wall_speedup);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

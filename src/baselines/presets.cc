@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/shard_layout.h"
+#include "lsm/sharded_db.h"
+
 namespace sealdb::baselines {
 
 const char* SystemName(SystemKind kind) {
@@ -144,13 +147,16 @@ std::unique_ptr<smr::Drive> MakeDrive(
   return nullptr;
 }
 
+// `base`/`limit` bound the managed shingled space (a shard's slice, or the
+// whole post-conventional span for the classic single-engine layout);
+// `shard_label` stamps the allocator's metric series when non-empty.
 std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
     const StackConfig& config, const smr::Geometry& geo,
     core::DynamicBandAllocator** dyn_out,
-    const std::shared_ptr<obs::MetricsRegistry>& registry) {
+    const std::shared_ptr<obs::MetricsRegistry>& registry, uint64_t base,
+    uint64_t limit, const std::string& shard_label) {
   *dyn_out = nullptr;
-  const uint64_t base = geo.conventional_bytes;
-  const uint64_t size = geo.capacity_bytes - base;
+  const uint64_t size = limit - base;
   switch (config.kind) {
     case SystemKind::kLevelDB:
     case SystemKind::kLevelDBOnHdd:
@@ -167,11 +173,12 @@ std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
     case SystemKind::kSEALDB: {
       core::DynamicBandOptions opt;
       opt.base = base;
-      opt.limit = geo.capacity_bytes;
+      opt.limit = limit;
       opt.track_bytes = geo.track_bytes;
       opt.guard_bytes = geo.guard_bytes();
       opt.class_unit = config.sstable_bytes;
       opt.metrics_registry = registry;
+      opt.metrics_shard_label = shard_label;
       auto alloc = std::make_unique<core::DynamicBandAllocator>(opt);
       *dyn_out = alloc.get();
       return alloc;
@@ -183,34 +190,84 @@ std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
 }  // namespace
 
 Stack::~Stack() {
-  // DB must close before the store, the store before the drive; member
+  // DB must close before the stores, the stores before the drive; member
   // declaration order already guarantees this (unique_ptrs destroyed in
   // reverse order), the explicit resets just make it obvious.
   db_.reset();
-  store_.reset();
+  stores_.clear();
 }
 
-Status Stack::Reopen() {
+Status Stack::OpenEngines(bool format) {
+  const smr::Geometry geo = MakeGeometry(config_);
+  const int shards = std::max(1, config_.num_shards);
+  if (shards > 1 && config_.kind != SystemKind::kSEALDB) {
+    return Status::InvalidArgument(
+        "num_shards > 1 is only supported by the SEALDB stack");
+  }
+  const core::ShardLayout layout(geo, shards, geo.track_bytes);
+  if (shards > 1) {
+    Status s = format ? layout.WriteSuperblock(drive_.get())
+                      : layout.VerifySuperblock(drive_.get());
+    if (!s.ok()) return s;
+  }
+
+  dyn_alloc_ = nullptr;
+  std::vector<std::unique_ptr<DB>> dbs;
+  for (int i = 0; i < shards; i++) {
+    const core::ShardRegion& rg = layout.region(i);
+    const std::string label = shards > 1 ? std::to_string(i) : "";
+    core::DynamicBandAllocator* dyn = nullptr;
+    auto alloc =
+        MakeAllocator(config_, geo, &dyn, options_.metrics_registry,
+                      rg.data_base, rg.data_limit, label);
+    if (i == 0) dyn_alloc_ = dyn;
+    auto store = std::make_unique<fs::FileStore>(drive_.get(), alloc.get(),
+                                                 rg.conv_base, rg.conv_len);
+    Status s = format ? store->Format() : store->Recover();
+    if (!s.ok()) return s;
+
+    Options shard_opt = options_;
+    if (shards > 1) {
+      shard_opt.metrics_shard_label = label;
+      // Shards split the process-wide budgets: the cache and executor are
+      // per-engine resources, and N full-size copies would change the
+      // stack's footprint, not just its partitioning.
+      shard_opt.block_cache_bytes = std::max<size_t>(
+          256 << 10, options_.block_cache_bytes / shards);
+      shard_opt.max_background_compactions =
+          std::max(1, options_.max_background_compactions / shards);
+      // Only shard 0 folds the shared external counter into its memory
+      // property; ShardedDb sums the shards, and N copies would count the
+      // server's buffers N times.
+      if (i != 0) shard_opt.external_memory_bytes = nullptr;
+    }
+    DB* db = nullptr;
+    s = DB::Open(shard_opt, dbname_, store.get(), &db);
+    if (!s.ok()) return s;
+    dbs.emplace_back(db);
+    allocators_.push_back(std::move(alloc));
+    stores_.push_back(std::move(store));
+  }
+  if (shards == 1) {
+    db_ = std::move(dbs[0]);
+  } else {
+    db_ = std::make_unique<ShardedDb>(std::move(dbs), options_.comparator);
+  }
+  return Status::OK();
+}
+
+Status Stack::Reopen(int num_shards) {
   db_.reset();
-  store_.reset();
-  allocator_.reset();
+  stores_.clear();
+  allocators_.clear();
 
   // Power is restored only after the old stack is fully torn down, so any
   // destructor-time flushes above hit the dead drive and fail — exactly the
   // crash semantics the recovery tests rely on.
   if (fault_ != nullptr) fault_->ClearCrash();
 
-  const smr::Geometry geo = MakeGeometry(config_);
-  allocator_ =
-      MakeAllocator(config_, geo, &dyn_alloc_, options_.metrics_registry);
-  store_ = std::make_unique<fs::FileStore>(drive_.get(), allocator_.get());
-  Status s = store_->Recover();
-  if (!s.ok()) return s;
-  DB* db = nullptr;
-  s = DB::Open(options_, dbname_, store_.get(), &db);
-  if (!s.ok()) return s;
-  db_.reset(db);
-  return Status::OK();
+  if (num_shards != 0) config_.num_shards = num_shards;
+  return OpenEngines(/*format=*/false);
 }
 
 Status BuildStack(const StackConfig& config, const std::string& name,
@@ -234,19 +291,8 @@ Status BuildStack(const StackConfig& config, const std::string& name,
     stack->fault_ = fault.get();
     stack->drive_ = std::move(fault);
   }
-  const smr::Geometry geo = MakeGeometry(config);
-  stack->allocator_ =
-      MakeAllocator(config, geo, &stack->dyn_alloc_, registry);
-  stack->store_ =
-      std::make_unique<fs::FileStore>(stack->drive_.get(),
-                                      stack->allocator_.get());
-  Status s = stack->store_->Format();
+  Status s = stack->OpenEngines(/*format=*/true);
   if (!s.ok()) return s;
-
-  DB* db = nullptr;
-  s = DB::Open(stack->options_, name, stack->store_.get(), &db);
-  if (!s.ok()) return s;
-  stack->db_.reset(db);
   *out = std::move(stack);
   return Status::OK();
 }

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dynamic_band_allocator.h"
 #include "fs/ext4_allocator.h"
@@ -85,6 +86,12 @@ struct StackConfig {
   int level0_slowdown_writes_trigger = 0;
   int level0_stop_writes_trigger = 0;
 
+  // Hash-partition the keyspace over this many independent LSM shards,
+  // each with its own FileStore/allocator over a disjoint drive region
+  // (core/shard_layout.h). 1 = the classic single engine (seed parity).
+  // Values > 1 are only supported by the kSEALDB stack.
+  int num_shards = 1;
+
   // Divide all size constants by `factor` (power of two suggested).
   StackConfig Scaled(uint64_t factor) const;
 };
@@ -100,7 +107,12 @@ class Stack {
   Stack& operator=(const Stack&) = delete;
 
   DB* db() { return db_.get(); }
-  fs::FileStore* store() { return store_.get(); }
+  // Shard 0's store with a sharded stack (device_stats and test plumbing
+  // still work: the drive — and therefore its stats — is shared).
+  fs::FileStore* store() { return stores_.empty() ? nullptr
+                                                  : stores_[0].get(); }
+  int num_shards() const { return static_cast<int>(stores_.size()); }
+  fs::FileStore* shard_store(int i) { return stores_[i].get(); }
   smr::Drive* drive() { return drive_.get(); }
   // Non-null only for kSEALDB.
   smr::ShingledDisk* shingled_disk() { return shingled_; }
@@ -127,21 +139,31 @@ class Stack {
 
   // Routed through the FileStore so the snapshot is taken under its mutex
   // (background compaction workers touch the drive concurrently).
-  smr::DeviceStats device_stats() const { return store_->device_stats(); }
+  smr::DeviceStats device_stats() const {
+    return stores_[0]->device_stats();
+  }
   DbStats db_stats() { return db_->GetDbStats(); }
 
   // Paper Table I metrics.
   double wa() { return db_->GetDbStats().wa(); }
-  double awa() const { return store_->device_stats().awa(); }
+  double awa() const { return stores_[0]->device_stats().awa(); }
   double mwa() { return wa() * awa(); }
 
   // Tear down and reopen the DB over the same drive contents, simulating a
-  // crash + restart (unsynced data is lost). Returns the reopen status.
-  Status Reopen();
+  // crash + restart (unsynced data is lost). `num_shards` != 0 reopens with
+  // a different shard count — the shard superblock rejects a mismatch, which
+  // is the error path this parameter exists to exercise. Returns the reopen
+  // status.
+  Status Reopen(int num_shards = 0);
 
  private:
   friend Status BuildStack(const StackConfig& config, const std::string& name,
                            std::unique_ptr<Stack>* out);
+
+  // Build the allocator/store/engine column for every shard over the
+  // already-constructed drive; `format` formats fresh stores, otherwise
+  // recovers existing ones (verifying the shard superblock first).
+  Status OpenEngines(bool format);
 
   StackConfig config_;
   Options options_;
@@ -150,9 +172,11 @@ class Stack {
   std::unique_ptr<smr::Drive> drive_;
   smr::ShingledDisk* shingled_ = nullptr;
   smr::FaultInjectionDrive* fault_ = nullptr;
-  std::unique_ptr<fs::ExtentAllocator> allocator_;
-  core::DynamicBandAllocator* dyn_alloc_ = nullptr;
-  std::unique_ptr<fs::FileStore> store_;
+  // One allocator + store per shard (index == shard id); destruction order
+  // (db before stores before drive) follows member order.
+  std::vector<std::unique_ptr<fs::ExtentAllocator>> allocators_;
+  core::DynamicBandAllocator* dyn_alloc_ = nullptr;  // shard 0's
+  std::vector<std::unique_ptr<fs::FileStore>> stores_;
   std::unique_ptr<DB> db_;
 };
 

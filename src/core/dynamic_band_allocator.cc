@@ -24,14 +24,21 @@ DynamicBandAllocator::DynamicBandAllocator(const DynamicBandOptions& opt)
 
   if (opt_.metrics_registry != nullptr) {
     obs::MetricsRegistry& r = *opt_.metrics_registry;
+    auto L = [this](obs::Labels labels = {}) {
+      if (!opt_.metrics_shard_label.empty()) {
+        labels.emplace_back("shard", opt_.metrics_shard_label);
+      }
+      return labels;
+    };
     g_freelist_bytes_ = r.RegisterGauge("sealdb_band_freelist_bytes",
-                                        "Bytes held in the free-space list");
+                                        "Bytes held in the free-space list",
+                                        L());
     g_guard_bytes_ = r.RegisterGauge(
         "sealdb_band_guard_bytes",
-        "Bytes dead as guard regions attached to allocations");
+        "Bytes dead as guard regions attached to allocations", L());
     g_frontier_bytes_ = r.RegisterGauge(
         "sealdb_band_frontier_bytes",
-        "Start of the residual (never banded) space, absolute offset");
+        "Start of the residual (never banded) space, absolute offset", L());
     for (int slot = 0; slot < kClassGaugeSlots; slot++) {
       std::string cls = std::to_string(slot + 1);
       if (slot == kClassGaugeSlots - 1) cls += "+";
@@ -39,18 +46,18 @@ DynamicBandAllocator::DynamicBandAllocator(const DynamicBandOptions& opt)
           "sealdb_band_freelist_regions",
           "Free regions per size class (class N holds regions of N or more "
           "SSTable units)",
-          {{"class", cls}});
+          L({{"class", cls}}));
     }
     c_inserts_ = r.RegisterCounter(
         "sealdb_band_alloc_total",
         "Allocations served by inserting into freed space vs appending at "
         "the frontier",
-        {{"kind", "insert"}});
+        L({{"kind", "insert"}}));
     c_appends_ = r.RegisterCounter(
         "sealdb_band_alloc_total",
         "Allocations served by inserting into freed space vs appending at "
         "the frontier",
-        {{"kind", "append"}});
+        L({{"kind", "append"}}));
     SyncMetrics();
   }
 }

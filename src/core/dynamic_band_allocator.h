@@ -45,6 +45,10 @@ struct DynamicBandOptions {
   // When set, free-list health is published as sealdb_band_* metrics
   // (refreshed after every mutation; the caller's lock orders them).
   std::shared_ptr<obs::MetricsRegistry> metrics_registry;
+  // Non-empty stamps {shard=<label>} on every sealdb_band_* series, so the
+  // per-shard allocators of a sharded stack publish disjoint series into
+  // the shared registry.
+  std::string metrics_shard_label;
 };
 
 class DynamicBandAllocator final : public fs::ExtentAllocator {

@@ -361,8 +361,13 @@ class StoreReadaheadFile final : public RandomAccessFile {
 // FileStore
 // ---------------------------------------------------------------------
 
-FileStore::FileStore(smr::Drive* drive, ExtentAllocator* allocator)
-    : drive_(drive), allocator_(allocator) {
+FileStore::FileStore(smr::Drive* drive, ExtentAllocator* allocator,
+                     uint64_t conv_base, uint64_t conv_len)
+    : drive_(drive),
+      allocator_(allocator),
+      conv_base_(conv_base),
+      conv_len_(conv_len != 0 ? conv_len
+                              : drive->geometry().conventional_bytes) {
   log_head_ = LogBegin();
   conv_files_free_.Reset(ConvFilesBegin(), ConvFilesEnd() - ConvFilesBegin());
 }
@@ -370,21 +375,21 @@ FileStore::FileStore(smr::Drive* drive, ExtentAllocator* allocator)
 FileStore::~FileStore() = default;
 
 uint64_t FileStore::SlotBytes() const {
-  return drive_->geometry().conventional_bytes / 8;
+  // Block-aligned so checkpoint slot 1 starts on a writable boundary even
+  // when conv_len_ is an odd shard slice.
+  const uint64_t block = drive_->geometry().block_bytes;
+  return conv_len_ / 8 / block * block;
 }
 uint64_t FileStore::SlotOffset(int slot) const {
-  return static_cast<uint64_t>(slot) * SlotBytes();
+  return conv_base_ + static_cast<uint64_t>(slot) * SlotBytes();
 }
-uint64_t FileStore::LogBegin() const { return 2 * SlotBytes(); }
+uint64_t FileStore::LogBegin() const { return conv_base_ + 2 * SlotBytes(); }
 uint64_t FileStore::LogEnd() const {
-  return drive_->geometry().conventional_bytes / 2;
+  const uint64_t block = drive_->geometry().block_bytes;
+  return conv_base_ + conv_len_ / 2 / block * block;
 }
-uint64_t FileStore::ConvFilesBegin() const {
-  return drive_->geometry().conventional_bytes / 2;
-}
-uint64_t FileStore::ConvFilesEnd() const {
-  return drive_->geometry().conventional_bytes;
-}
+uint64_t FileStore::ConvFilesBegin() const { return LogEnd(); }
+uint64_t FileStore::ConvFilesEnd() const { return conv_base_ + conv_len_; }
 
 Status FileStore::Format() {
   std::lock_guard<std::mutex> l(mu_);

@@ -71,7 +71,11 @@ class FileStore {
  public:
   // The store writes its metadata journal into the drive's conventional
   // region; `allocator` places file data in the shingled space.
-  FileStore(smr::Drive* drive, ExtentAllocator* allocator);
+  // `conv_base`/`conv_len` restrict the metadata area to a sub-range of the
+  // conventional region (a shard's slice); conv_len == 0 means the whole
+  // region, which is the unsharded seed layout.
+  FileStore(smr::Drive* drive, ExtentAllocator* allocator,
+            uint64_t conv_base = 0, uint64_t conv_len = 0);
   ~FileStore();
 
   FileStore(const FileStore&) = delete;
@@ -226,6 +230,9 @@ class FileStore {
   mutable std::mutex mu_;
   smr::Drive* drive_;
   ExtentAllocator* allocator_;
+  // Conventional-region slice this store's metadata lives in.
+  uint64_t conv_base_ = 0;
+  uint64_t conv_len_ = 0;
 
   std::map<std::string, FileMeta> files_;
   std::map<uint64_t, RegionMeta> regions_;

@@ -140,7 +140,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       versions_(std::make_unique<VersionSet>(dbname_, &options_, store_,
                                              table_cache_.get(),
                                              &internal_comparator_)),
-      em_(options_.metrics_registry) {
+      em_(options_.metrics_registry, options_.metrics_shard_label) {
   if (options_.compaction_unit == CompactionUnit::kSet) {
     set_manager_ = std::make_unique<core::SetManager>();
     versions_->SetSetInfoProvider(set_manager_.get());

@@ -18,7 +18,13 @@ namespace sealdb {
 
 class EngineMetrics {
  public:
-  explicit EngineMetrics(std::shared_ptr<obs::MetricsRegistry> registry);
+  // A non-empty `shard_label` stamps {shard=<label>} on every
+  // sealdb_engine_* series this instance registers, so N shard engines
+  // sharing one registry publish disjoint per-shard series (sum or max over
+  // the family with MetricsRegistry::*_family_* for totals). Empty keeps
+  // the unsharded, label-free exposition.
+  explicit EngineMetrics(std::shared_ptr<obs::MetricsRegistry> registry,
+                         const std::string& shard_label = "");
   ~EngineMetrics();
 
   obs::Counter* user_bytes;   // key+value payload from the client

@@ -1,0 +1,257 @@
+#include "lsm/sharded_db.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/shard_layout.h"
+#include "lsm/merger.h"
+#include "lsm/write_batch.h"
+
+namespace sealdb {
+
+// Composite of one per-shard snapshot; reads through it are consistent
+// within each shard (cross-shard, the snapshots are taken in shard order).
+struct ShardedDb::ShardedSnapshot : public Snapshot {
+  ~ShardedSnapshot() override = default;
+  std::vector<const Snapshot*> snaps;
+};
+
+namespace {
+
+// Splits a batch's operations into one sub-batch per owning shard.
+struct ShardSplitter : public WriteBatch::Handler {
+  ShardSplitter(std::vector<WriteBatch>* batches, int n)
+      : batches_(batches), n_(n) {}
+  void Put(const Slice& key, const Slice& value) override {
+    (*batches_)[core::ShardLayout::ShardOfKey(key, n_)].Put(key, value);
+  }
+  void Delete(const Slice& key) override {
+    (*batches_)[core::ShardLayout::ShardOfKey(key, n_)].Delete(key);
+  }
+  std::vector<WriteBatch>* batches_;
+  int n_;
+};
+
+}  // namespace
+
+ShardedDb::ShardedDb(std::vector<std::unique_ptr<DB>> shards,
+                     const Comparator* comparator)
+    : shards_(std::move(shards)), comparator_(comparator) {}
+
+ShardedDb::~ShardedDb() = default;
+
+int ShardedDb::ShardOf(const Slice& user_key) const {
+  return core::ShardLayout::ShardOfKey(user_key, num_shards());
+}
+
+Status ShardedDb::Put(const WriteOptions& options, const Slice& key,
+                      const Slice& value) {
+  return shards_[ShardOf(key)]->Put(options, key, value);
+}
+
+Status ShardedDb::Delete(const WriteOptions& options, const Slice& key) {
+  return shards_[ShardOf(key)]->Delete(options, key);
+}
+
+Status ShardedDb::Write(const WriteOptions& options, WriteBatch* updates) {
+  std::vector<WriteBatch> per_shard(num_shards());
+  ShardSplitter splitter(&per_shard, num_shards());
+  if (Status s = updates->Iterate(&splitter); !s.ok()) return s;
+  // Each sub-batch is atomic within its shard; a failure stops the
+  // remaining shards, so the caller sees at-most-prefix application across
+  // shards (single-shard batches keep full atomicity).
+  for (int i = 0; i < num_shards(); i++) {
+    if (WriteBatchInternal::Count(&per_shard[i]) == 0) continue;
+    if (Status s = shards_[i]->Write(options, &per_shard[i]); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedDb::Get(const ReadOptions& options, const Slice& key,
+                      std::string* value) {
+  const int shard = ShardOf(key);
+  if (options.snapshot != nullptr) {
+    ReadOptions ro = options;
+    ro.snapshot =
+        static_cast<const ShardedSnapshot*>(options.snapshot)->snaps[shard];
+    return shards_[shard]->Get(ro, key, value);
+  }
+  return shards_[shard]->Get(options, key, value);
+}
+
+Iterator* ShardedDb::NewIterator(const ReadOptions& options) {
+  std::vector<Iterator*> children(num_shards());
+  for (int i = 0; i < num_shards(); i++) {
+    ReadOptions ro = options;
+    if (options.snapshot != nullptr) {
+      ro.snapshot =
+          static_cast<const ShardedSnapshot*>(options.snapshot)->snaps[i];
+    }
+    children[i] = shards_[i]->NewIterator(ro);
+  }
+  return NewMergingIterator(comparator_, children.data(), num_shards());
+}
+
+const Snapshot* ShardedDb::GetSnapshot() {
+  auto* snap = new ShardedSnapshot;
+  snap->snaps.resize(num_shards());
+  for (int i = 0; i < num_shards(); i++) {
+    snap->snaps[i] = shards_[i]->GetSnapshot();
+  }
+  return snap;
+}
+
+void ShardedDb::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  const auto* snap = static_cast<const ShardedSnapshot*>(snapshot);
+  for (int i = 0; i < num_shards(); i++) {
+    shards_[i]->ReleaseSnapshot(snap->snaps[i]);
+  }
+  delete snap;
+}
+
+bool ShardedDb::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  Slice in = property;
+  const Slice prefix("sealdb.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level") ||
+      in == "approximate-memory-usage") {
+    // Numeric properties: sum across shards.
+    uint64_t total = 0;
+    for (auto& shard : shards_) {
+      std::string v;
+      if (!shard->GetProperty(property, &v)) return false;
+      total += strtoull(v.c_str(), nullptr, 10);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, total);
+    *value = buf;
+    return true;
+  }
+
+  if (in == "stats") {
+    // Aggregate block first (the totals the CLI and benches read), then the
+    // per-shard engines' own renderings.
+    const DbStats st = GetDbStats();
+    char buf[800];
+    std::snprintf(
+        buf, sizeof(buf),
+        "shards: %d\n"
+        "flushes: %llu, compactions: %llu\n"
+        "user MB: %.1f, flush MB: %.1f, compact write MB: %.1f\n"
+        "WA: %.2f, compaction device time: %.3f s\n"
+        "write stalls: %llu slowdowns, %llu stops, %llu micros parked "
+        "(level now %d)\n",
+        num_shards(), static_cast<unsigned long long>(st.num_flushes),
+        static_cast<unsigned long long>(st.num_compactions),
+        st.user_bytes_written / 1048576.0, st.flush_bytes_written / 1048576.0,
+        st.compaction_bytes_written / 1048576.0, st.wa(),
+        st.compaction_device_seconds,
+        static_cast<unsigned long long>(st.write_stall_slowdowns),
+        static_cast<unsigned long long>(st.write_stall_stops),
+        static_cast<unsigned long long>(st.write_stall_micros),
+        WriteStallLevel());
+    *value = buf;
+    for (int i = 0; i < num_shards(); i++) {
+      std::string v;
+      if (!shards_[i]->GetProperty(property, &v)) return false;
+      value->append("--- shard " + std::to_string(i) + " ---\n");
+      value->append(v);
+    }
+    return true;
+  }
+
+  // Everything else (sstables, background-error, future properties):
+  // concatenate the per-shard values with shard headers.
+  for (int i = 0; i < num_shards(); i++) {
+    std::string v;
+    if (!shards_[i]->GetProperty(property, &v)) return false;
+    value->append("--- shard " + std::to_string(i) + " ---\n");
+    value->append(v);
+    if (!value->empty() && value->back() != '\n') value->push_back('\n');
+  }
+  return true;
+}
+
+void ShardedDb::CompactRange(const Slice* begin, const Slice* end) {
+  for (auto& shard : shards_) shard->CompactRange(begin, end);
+}
+
+void ShardedDb::CompactLevelRange(int level, const Slice* begin,
+                                  const Slice* end) {
+  for (auto& shard : shards_) shard->CompactLevelRange(level, begin, end);
+}
+
+void ShardedDb::WaitForIdle() {
+  for (auto& shard : shards_) shard->WaitForIdle();
+}
+
+int ShardedDb::WriteStallLevel() {
+  int level = 0;
+  for (auto& shard : shards_) level = std::max(level, shard->WriteStallLevel());
+  return level;
+}
+
+int ShardedDb::WriteStallLevelOfShard(int shard) {
+  return shards_[shard]->WriteStallLevel();
+}
+
+DbStats ShardedDb::GetDbStats() {
+  DbStats total;
+  for (auto& shard : shards_) {
+    const DbStats st = shard->GetDbStats();
+    total.user_bytes_written += st.user_bytes_written;
+    total.wal_bytes_written += st.wal_bytes_written;
+    total.flush_bytes_written += st.flush_bytes_written;
+    total.compaction_bytes_read += st.compaction_bytes_read;
+    total.compaction_bytes_written += st.compaction_bytes_written;
+    total.num_compactions += st.num_compactions;
+    total.num_flushes += st.num_flushes;
+    total.compaction_device_seconds += st.compaction_device_seconds;
+    total.compaction_pick_micros += st.compaction_pick_micros;
+    total.compaction_read_micros += st.compaction_read_micros;
+    total.compaction_merge_micros += st.compaction_merge_micros;
+    total.compaction_write_micros += st.compaction_write_micros;
+    total.compaction_install_micros += st.compaction_install_micros;
+    // The shards' high-water marks peak at different moments; the max is
+    // the only honest engine-level figure without a shared clock.
+    total.max_parallel_compactions =
+        std::max(total.max_parallel_compactions, st.max_parallel_compactions);
+    total.write_stall_slowdowns += st.write_stall_slowdowns;
+    total.write_stall_stops += st.write_stall_stops;
+    total.write_stall_micros += st.write_stall_micros;
+  }
+  return total;
+}
+
+std::vector<LiveFileMeta> ShardedDb::GetLiveFilesMetadata() {
+  std::vector<LiveFileMeta> all;
+  for (auto& shard : shards_) {
+    auto files = shard->GetLiveFilesMetadata();
+    all.insert(all.end(), files.begin(), files.end());
+  }
+  return all;
+}
+
+void ShardedDb::SetRecordCompactionEvents(bool enable) {
+  for (auto& shard : shards_) shard->SetRecordCompactionEvents(enable);
+}
+
+std::vector<CompactionEvent> ShardedDb::TakeCompactionEvents() {
+  std::vector<CompactionEvent> all;
+  for (auto& shard : shards_) {
+    auto events = shard->TakeCompactionEvents();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  return all;
+}
+
+}  // namespace sealdb

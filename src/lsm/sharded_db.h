@@ -1,0 +1,81 @@
+// ShardedDb: hash-partition the keyspace over N independent LSM engines
+// (DESIGN.md §13).
+//
+// Each shard is a complete DB (its own memtable, WAL, version set, and
+// compaction scheduling) opened over its own FileStore, which in turn owns
+// a disjoint slice of the shared drive (core/shard_layout.h). Shards never
+// touch each other's state, so writes to different shards contend on
+// nothing above the drive model itself — the shape of seastar-style
+// shard-per-core engines, adapted to one simulated spindle.
+//
+// Routing is ShardLayout::ShardOfKey (fixed-seed hash of the user key), so
+// point operations go straight to one engine. Cross-shard semantics:
+//
+//  - Write(batch): the batch is split per shard and each sub-batch applies
+//    atomically *within its shard*; there is no cross-shard atomicity (the
+//    same contract partitioned stores like ScaleStore give). Single-shard
+//    batches keep full atomicity.
+//  - GetSnapshot: a composite of one per-shard snapshot, taken in shard
+//    order; reads through it are per-shard-consistent.
+//  - NewIterator: a merging iterator over the per-shard iterators (shards
+//    partition by hash, not range, so every shard contributes everywhere).
+//  - GetProperty("sealdb.stats") and GetDbStats aggregate across shards so
+//    the CLI, the stats property, and the metrics exposition agree.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lsm/db.h"
+
+namespace sealdb {
+
+class Comparator;
+
+class ShardedDb final : public DB {
+ public:
+  // Takes ownership of the per-shard engines (index == shard id).
+  // `comparator` orders the merged iterator view; pass the same comparator
+  // the shards were opened with (Options::comparator).
+  ShardedDb(std::vector<std::unique_ptr<DB>> shards,
+            const Comparator* comparator);
+  ~ShardedDb() override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Routing, exposed so the server can pick a shard queue without
+  // constructing a batch.
+  int ShardOf(const Slice& user_key) const;
+  DB* shard(int i) { return shards_[i].get(); }
+
+  // ---- DB interface ----
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  void CompactLevelRange(int level, const Slice* begin,
+                         const Slice* end) override;
+  void WaitForIdle() override;
+  int WriteStallLevel() override;
+  // Stall level of one shard; the server's admission control checks the
+  // target shard instead of rejecting for a stall elsewhere.
+  int WriteStallLevelOfShard(int shard);
+  DbStats GetDbStats() override;
+  std::vector<LiveFileMeta> GetLiveFilesMetadata() override;
+  void SetRecordCompactionEvents(bool enable) override;
+  std::vector<CompactionEvent> TakeCompactionEvents() override;
+
+ private:
+  struct ShardedSnapshot;
+
+  std::vector<std::unique_ptr<DB>> shards_;
+  const Comparator* comparator_;
+};
+
+}  // namespace sealdb

@@ -356,4 +356,74 @@ double MetricsRegistry::time_value(const std::string& name,
   return e->time_counter->Seconds();
 }
 
+namespace {
+
+bool LabelsContain(const Labels& labels, const Labels& filter) {
+  for (const auto& want : filter) {
+    bool found = false;
+    for (const auto& have : labels) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t MetricsRegistry::counter_family_sum(const std::string& name,
+                                             const Labels& filter) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e->name != name || !LabelsContain(e->labels, filter)) continue;
+    if (e->kind == MetricKind::kCounter) total += e->counter->Value();
+    if (e->kind == MetricKind::kTimeCounter) total += e->time_counter->Nanos();
+  }
+  return total;
+}
+
+double MetricsRegistry::time_family_sum(const std::string& name,
+                                        const Labels& filter) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0;
+  for (const auto& e : entries_) {
+    if (e->name != name || e->kind != MetricKind::kTimeCounter) continue;
+    if (!LabelsContain(e->labels, filter)) continue;
+    total += e->time_counter->Seconds();
+  }
+  return total;
+}
+
+double MetricsRegistry::gauge_family_sum(const std::string& name,
+                                         const Labels& filter) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0;
+  for (const auto& e : entries_) {
+    if (e->name != name || e->kind != MetricKind::kGauge) continue;
+    if (!LabelsContain(e->labels, filter)) continue;
+    total += e->gauge->Value();
+  }
+  return total;
+}
+
+double MetricsRegistry::gauge_family_max(const std::string& name,
+                                         const Labels& filter) const {
+  RunCollectHooks();
+  std::lock_guard<std::mutex> lock(mu_);
+  double best = 0;
+  for (const auto& e : entries_) {
+    if (e->name != name || e->kind != MetricKind::kGauge) continue;
+    if (!LabelsContain(e->labels, filter)) continue;
+    best = std::max(best, e->gauge->Value());
+  }
+  return best;
+}
+
 }  // namespace sealdb::obs

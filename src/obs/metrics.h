@@ -192,6 +192,23 @@ class MetricsRegistry {
   // TimeCounter value in seconds; 0 if absent.
   double time_value(const std::string& name, const Labels& labels = {}) const;
 
+  // Family aggregation across label sets, for consumers that want a total
+  // regardless of how a family is sliced (e.g. per-shard engines stamp a
+  // `shard` label on every series). An entry participates when its labels
+  // contain every pair of `filter` (subset match), so e.g.
+  // counter_family_sum("sealdb_engine_compaction_bytes_total",
+  // {{"dir","write"}}) sums the write direction over all shards without
+  // merging it with the read direction.
+  uint64_t counter_family_sum(const std::string& name,
+                              const Labels& filter = {}) const;
+  // TimeCounter family total in seconds.
+  double time_family_sum(const std::string& name,
+                         const Labels& filter = {}) const;
+  double gauge_family_sum(const std::string& name,
+                          const Labels& filter = {}) const;
+  double gauge_family_max(const std::string& name,
+                          const Labels& filter = {}) const;
+
  private:
   struct Entry {
     std::string name;

@@ -21,6 +21,7 @@
 #include "baselines/presets.h"
 #include "lsm/db.h"
 #include "lsm/iterator.h"
+#include "lsm/sharded_db.h"
 #include "lsm/write_batch.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -72,6 +73,7 @@ using ConnPtr = std::shared_ptr<Connection>;
 struct Request {
   ConnPtr conn;
   uint8_t opcode = 0;
+  int shard = 0;               // write queue this was routed to
   uint64_t request_id = 0;
   uint64_t trace_id = 0;       // 0 = untraced
   uint64_t enqueue_micros = 0; // when Dispatch() queued it (tracing)
@@ -83,6 +85,11 @@ struct Request {
 struct SealServer::Impl {
   Impl(DB* db, baselines::Stack* stack, const ServerOptions& options)
       : db_(db), stack_(stack), opts_(options) {
+    // A sharded engine gets one commit queue per shard: the hash routing
+    // happens at dispatch (no engine locks taken), and each shard runs its
+    // own group-commit leader so independent shards commit concurrently.
+    sharded_ = dynamic_cast<ShardedDb*>(db_);
+    write_queues_.resize(sharded_ != nullptr ? sharded_->num_shards() : 1);
     if (stack_ != nullptr) external_memory_ = stack_->external_memory_bytes();
     registry_ = opts_.metrics_registry;
     if (registry_ == nullptr && stack_ != nullptr) {
@@ -175,17 +182,36 @@ struct SealServer::Impl {
     obs::Gauge* g_buffer = r.RegisterGauge(
         "sealdb_server_connection_buffer_bytes",
         "Bytes across per-connection read and response buffers");
+    // With a sharded engine each commit queue also gets its own depth
+    // series ({shard=i}); the unlabeled gauge stays the total, so existing
+    // dashboards keep working at any shard count.
+    std::vector<obs::Gauge*> g_shard_q;
+    if (write_queues_.size() > 1) {
+      for (size_t i = 0; i < write_queues_.size(); i++) {
+        g_shard_q.push_back(r.RegisterGauge(
+            "sealdb_server_shard_write_queue_depth",
+            "Write requests awaiting a shard's group-commit leader",
+            {{"shard", std::to_string(i)}}));
+      }
+    }
     depth_hook_id_ = r.AddCollectHook([this, g_read_q, g_write_q,
-                                       g_queued_bytes, g_buffer] {
-      size_t rq, wq, qb;
+                                       g_queued_bytes, g_buffer, g_shard_q] {
+      size_t rq, wq = 0, qb;
+      std::vector<size_t> per_shard(g_shard_q.size(), 0);
       {
         std::lock_guard<std::mutex> l(queue_mu_);
         rq = read_tasks_.size();
-        wq = write_tasks_.size();
+        for (size_t i = 0; i < write_queues_.size(); i++) {
+          wq += write_queues_[i].tasks.size();
+          if (i < per_shard.size()) per_shard[i] = write_queues_[i].tasks.size();
+        }
         qb = queued_write_bytes_;
       }
       g_read_q->Set(static_cast<double>(rq));
       g_write_q->Set(static_cast<double>(wq));
+      for (size_t i = 0; i < g_shard_q.size(); i++) {
+        g_shard_q[i]->Set(static_cast<double>(per_shard[i]));
+      }
       g_queued_bytes->Set(static_cast<double>(qb));
       g_buffer->Set(static_cast<double>(
           buffer_bytes_.load(std::memory_order_relaxed)));
@@ -212,17 +238,51 @@ struct SealServer::Impl {
   std::vector<ConnPtr> pending_flush_;
 
   // ---- request queues ----
+  // One write queue per engine shard (exactly one for an unsharded DB).
+  // Each queue elects its own group-commit leader, so with N shards up to
+  // N write groups commit concurrently against independent engines. All
+  // queues share queue_mu_: the critical sections are a few pointer moves,
+  // and a single lock keeps the drain/stop logic trivially correct.
+  struct WriteQueue {
+    std::deque<Request> tasks;
+    size_t queued_bytes = 0;    // payload bytes sitting in `tasks`
+    bool leader_active = false; // a worker is committing this queue's group
+  };
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::condition_variable drain_cv_;
   std::deque<Request> read_tasks_;
-  std::deque<Request> write_tasks_;
-  // Bytes of write payloads sitting in write_tasks_ (guarded by queue_mu_).
+  std::vector<WriteQueue> write_queues_;  // sized once in the constructor
+  // Total write payload bytes across every queue (guarded by queue_mu_).
   // The admission budget compares against this before enqueueing.
   size_t queued_write_bytes_ = 0;
-  bool write_leader_active_ = false;
+  int next_write_shard_ = 0;  // round-robin start for leader election
   int executing_ = 0;
   bool workers_exit_ = false;
+  ShardedDb* sharded_ = nullptr;  // non-null iff db_ is sharded
+  // Spreads cross-shard kWriteBatch requests over the queues.
+  std::atomic<uint64_t> batch_rr_{0};
+
+  bool AnyWritesQueuedLocked() const {
+    for (const WriteQueue& q : write_queues_) {
+      if (!q.tasks.empty()) return true;
+    }
+    return false;
+  }
+
+  // Next queue with work and no active leader, rotating the start index so
+  // a busy shard cannot starve the others. Returns -1 if none is runnable.
+  int PickWriteShardLocked() {
+    const int n = static_cast<int>(write_queues_.size());
+    for (int k = 0; k < n; k++) {
+      const int i = (next_write_shard_ + k) % n;
+      if (!write_queues_[i].tasks.empty() && !write_queues_[i].leader_active) {
+        next_write_shard_ = (i + 1) % n;
+        return i;
+      }
+    }
+    return -1;
+  }
 
   // Recently applied write request ids, newest at the back. A retried
   // write whose ack was lost replays its OK instead of re-applying.
@@ -597,16 +657,46 @@ struct SealServer::Impl {
                  Status::Busy("per-connection in-flight cap reached"));
       return;
     }
-    if (is_write && opts_.reject_writes_on_stall &&
-        db_->WriteStallLevel() >= 2) {
-      c_rej_stall_->Inc();
-      RejectBusy(conn, header, Status::Busy("engine write stall"));
-      return;
+    // Route the write to its shard's commit queue by hashing the decoded
+    // key — pure computation, no engine locks. Multi-key batches may span
+    // shards; they ride any queue round-robin and ShardedDb::Write splits
+    // them. Malformed payloads route to queue 0 where the group leader
+    // produces the typed decode error exactly as before.
+    int shard = 0;
+    if (is_write && sharded_ != nullptr) {
+      Slice key, value;
+      if (op == net::Op::kPut) {
+        if (net::DecodePutRequest(payload, &key, &value)) {
+          shard = sharded_->ShardOf(key);
+        }
+      } else if (op == net::Op::kDelete) {
+        if (net::DecodeKeyRequest(payload, &key)) {
+          shard = sharded_->ShardOf(key);
+        }
+      } else {  // kWriteBatch
+        shard = static_cast<int>(batch_rr_.fetch_add(
+                    1, std::memory_order_relaxed) %
+                                 write_queues_.size());
+      }
+    }
+    if (is_write && opts_.reject_writes_on_stall) {
+      // Per-shard admission: only a stall of the *target* engine sheds
+      // this write (cross-shard batches check the worst shard).
+      const int stall_level =
+          (sharded_ != nullptr && op != net::Op::kWriteBatch)
+              ? sharded_->WriteStallLevelOfShard(shard)
+              : db_->WriteStallLevel();
+      if (stall_level >= 2) {
+        c_rej_stall_->Inc();
+        RejectBusy(conn, header, Status::Busy("engine write stall"));
+        return;
+      }
     }
 
     Request req;
     req.conn = conn;
     req.opcode = header.opcode;
+    req.shard = shard;
     req.request_id = header.request_id;
     req.trace_id = header.trace_id;
     if (Sampled(header.trace_id)) req.enqueue_micros = NowMicros();
@@ -619,13 +709,17 @@ struct SealServer::Impl {
           queued_write_bytes_ > 0 &&
           queued_write_bytes_ + req.payload.size() >
               opts_.max_queued_write_bytes) {
-        // Byte-budgeted write queue: over budget, reject at the door. An
-        // empty queue always admits, so a single write larger than the
-        // whole budget cannot livelock its retries.
+        // Byte-budgeted write queues: over the shared budget, reject at
+        // the door. Empty queues always admit, so a single write larger
+        // than the whole budget cannot livelock its retries.
         queue_full = true;
+      } else if (is_write) {
+        queued_write_bytes_ += req.payload.size();
+        WriteQueue& q = write_queues_[shard];
+        q.queued_bytes += req.payload.size();
+        q.tasks.push_back(std::move(req));
       } else {
-        if (is_write) queued_write_bytes_ += req.payload.size();
-        (is_write ? write_tasks_ : read_tasks_).push_back(std::move(req));
+        read_tasks_.push_back(std::move(req));
       }
     }
     if (queue_full) {
@@ -841,28 +935,32 @@ struct SealServer::Impl {
   void WorkerMain() {
     std::unique_lock<std::mutex> l(queue_mu_);
     for (;;) {
-      if (!write_tasks_.empty() && !write_leader_active_) {
-        // Become the write leader: drain a group of queued writes and
-        // commit them as one WriteBatch.
-        write_leader_active_ = true;
+      const int shard = PickWriteShardLocked();
+      if (shard >= 0) {
+        // Become this shard's write leader: drain a group of its queued
+        // writes and commit them as one WriteBatch. Other shards' queues
+        // stay runnable — their leaders commit concurrently.
+        WriteQueue& q = write_queues_[shard];
+        q.leader_active = true;
         std::vector<Request> group;
         size_t group_bytes = 0;
-        while (!write_tasks_.empty() &&
+        while (!q.tasks.empty() &&
                group.size() < opts_.max_batch_requests &&
                group_bytes < opts_.max_batch_bytes) {
-          const size_t sz = write_tasks_.front().payload.size();
+          const size_t sz = q.tasks.front().payload.size();
           group_bytes += sz;
+          q.queued_bytes -= std::min(q.queued_bytes, sz);
           queued_write_bytes_ -= std::min(queued_write_bytes_, sz);
-          group.push_back(std::move(write_tasks_.front()));
-          write_tasks_.pop_front();
+          group.push_back(std::move(q.tasks.front()));
+          q.tasks.pop_front();
         }
         executing_ += static_cast<int>(group.size());
         l.unlock();
         RunWriteGroup(group);
         l.lock();
         executing_ -= static_cast<int>(group.size());
-        write_leader_active_ = false;
-        if (!write_tasks_.empty()) queue_cv_.notify_one();
+        q.leader_active = false;
+        if (AnyWritesQueuedLocked()) queue_cv_.notify_one();
         drain_cv_.notify_all();
         continue;
       }
@@ -1199,7 +1297,7 @@ struct SealServer::Impl {
       std::unique_lock<std::mutex> l(queue_mu_);
       drain_cv_.wait(l, [this] {
         return reads_quiesced_ && read_tasks_.empty() &&
-               write_tasks_.empty() && executing_ == 0;
+               !AnyWritesQueuedLocked() && executing_ == 0;
       });
       workers_exit_ = true;
     }

@@ -2,7 +2,8 @@
 // over the binary wire protocol.
 //
 //   sealdb_server [--host H] [--port P] [--system sealdb|smrdb|leveldb]
-//                 [--scale N] [--workers N] [--sync] [--fault-injection]
+//                 [--scale N] [--shards N] [--workers N] [--sync]
+//                 [--fault-injection]
 //                 [--max-connections N] [--max-inflight N]
 //                 [--max-queued-write-bytes N] [--max-response-buffer-bytes N]
 //                 [--no-stall-rejection]
@@ -35,6 +36,8 @@ void Usage(const char* argv0) {
       "  --port P            TCP port (default 4790; 0 = ephemeral)\n"
       "  --system KIND       stack preset to serve (default sealdb)\n"
       "  --scale N           shrink all size constants by N (default 64)\n"
+      "  --shards N          hash-partition the keyspace over N independent\n"
+      "                      LSM shards (sealdb only; default 1)\n"
       "  --workers N         request worker threads (default 4)\n"
       "  --sync              fsync the WAL before acking writes\n"
       "  --fault-injection   wrap the drive in FaultInjectionDrive\n"
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   uint16_t port = 4790;
   SystemKind kind = SystemKind::kSEALDB;
   uint64_t scale = 64;
+  int shards = 1;
   int workers = 4;
   bool sync_writes = false;
   bool fault_injection = false;
@@ -97,6 +101,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--scale") {
       scale = static_cast<uint64_t>(std::atoll(next("--scale")));
+    } else if (arg == "--shards") {
+      shards = std::atoi(next("--shards"));
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--workers") {
       workers = std::atoi(next("--workers"));
     } else if (arg == "--sync") {
@@ -138,6 +148,7 @@ int main(int argc, char** argv) {
   // stall on merge work while connections wait for acks.
   config.inline_compactions = false;
   config.fault_injection = fault_injection;
+  config.num_shards = shards;
 
   std::unique_ptr<sealdb::baselines::Stack> stack;
   sealdb::Status s =
@@ -157,9 +168,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to start: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("sealdb_server: serving %s on %s:%u (%d workers)\n",
+  std::printf("sealdb_server: serving %s on %s:%u (%d shards, %d workers)\n",
               sealdb::baselines::SystemName(kind), host.c_str(),
-              static_cast<unsigned>(server.port()), workers);
+              static_cast<unsigned>(server.port()), shards, workers);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

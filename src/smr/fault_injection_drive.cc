@@ -14,6 +14,7 @@ FaultInjectionDrive::FaultInjectionDrive(
 void FaultInjectionDrive::InjectReadError(uint64_t offset, uint64_t n,
                                           int remaining_failures) {
   if (n == 0) return;
+  std::lock_guard<std::mutex> l(mu_);
   const Geometry& geo = target_->geometry();
   const uint64_t first = geo.block_of(offset);
   const uint64_t last = geo.block_of(offset + n - 1);
@@ -23,6 +24,11 @@ void FaultInjectionDrive::InjectReadError(uint64_t offset, uint64_t n,
 }
 
 void FaultInjectionDrive::ClearReadError(uint64_t offset, uint64_t n) {
+  std::lock_guard<std::mutex> l(mu_);
+  ClearReadErrorLocked(offset, n);
+}
+
+void FaultInjectionDrive::ClearReadErrorLocked(uint64_t offset, uint64_t n) {
   if (n == 0) return;
   const Geometry& geo = target_->geometry();
   const uint64_t first = geo.block_of(offset);
@@ -33,27 +39,32 @@ void FaultInjectionDrive::ClearReadError(uint64_t offset, uint64_t n) {
 }
 
 void FaultInjectionDrive::SetReadErrorProbability(double p, uint32_t seed) {
+  std::lock_guard<std::mutex> l(mu_);
   read_error_probability_ = p;
   rng_ = Random(seed);
 }
 
 void FaultInjectionDrive::SetWriteError(bool enabled, uint64_t begin,
                                         uint64_t end) {
+  std::lock_guard<std::mutex> l(mu_);
   write_error_enabled_ = enabled;
   write_error_begin_ = begin;
   write_error_end_ = end;
 }
 
 void FaultInjectionDrive::TearNextWrite(uint64_t keep_blocks) {
+  std::lock_guard<std::mutex> l(mu_);
   tear_next_write_ = true;
   tear_keep_blocks_ = keep_blocks;
 }
 
 void FaultInjectionDrive::CrashAfterBlockWrites(uint64_t n) {
+  std::lock_guard<std::mutex> l(mu_);
   crash_after_blocks_ = static_cast<int64_t>(n);
 }
 
 void FaultInjectionDrive::PowerOff() {
+  std::lock_guard<std::mutex> l(mu_);
   if (!crashed_) {
     crashed_ = true;
     met_.crashes->Inc();
@@ -81,10 +92,11 @@ bool FaultInjectionDrive::ConsumeReadFault(uint64_t offset, uint64_t n) {
 
 void FaultInjectionDrive::HealWrittenBlocks(uint64_t offset, uint64_t n) {
   // A successful write remaps the sector: injected read errors clear.
-  ClearReadError(offset, n);
+  ClearReadErrorLocked(offset, n);
 }
 
 Status FaultInjectionDrive::Read(uint64_t offset, uint64_t n, char* scratch) {
+  std::lock_guard<std::mutex> l(mu_);
   if (crashed_) {
     met_.read_errors->Inc();
     return Status::IOError("fault injection: drive powered off");
@@ -106,6 +118,7 @@ Status FaultInjectionDrive::Write(uint64_t offset, const Slice& data) {
   if (delay > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(delay));
   }
+  std::lock_guard<std::mutex> l(mu_);
   if (crashed_) {
     met_.write_errors->Inc();
     return Status::IOError("fault injection: drive powered off");
@@ -163,6 +176,7 @@ Status FaultInjectionDrive::Write(uint64_t offset, const Slice& data) {
 }
 
 Status FaultInjectionDrive::Trim(uint64_t offset, uint64_t n) {
+  std::lock_guard<std::mutex> l(mu_);
   if (crashed_) {
     return Status::IOError("fault injection: drive powered off");
   }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "smr/device_metrics.h"
 #include "smr/drive.h"
@@ -75,16 +76,23 @@ class FaultInjectionDrive final : public Drive {
   void CrashAfterBlockWrites(uint64_t n);
   // Power off immediately.
   void PowerOff();
-  bool crashed() const { return crashed_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return crashed_;
+  }
   // Power restored: I/O works again and any still-armed crash point is
   // disarmed (the power-cut experiment is over). Per-block faults persist.
   void ClearCrash() {
+    std::lock_guard<std::mutex> l(mu_);
     crashed_ = false;
     crash_after_blocks_ = -1;
   }
 
   // Lifetime count of blocks actually persisted (crash-sweep yardstick).
-  uint64_t blocks_written() const { return blocks_written_; }
+  uint64_t blocks_written() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return blocks_written_;
+  }
 
   Drive* target() { return target_.get(); }
 
@@ -100,11 +108,20 @@ class FaultInjectionDrive final : public Drive {
 
  private:
   // Returns true (and consumes one failure charge) if [offset, offset+n)
-  // touches a faulted block.
+  // touches a faulted block. Callers hold mu_.
   bool ConsumeReadFault(uint64_t offset, uint64_t n);
   void HealWrittenBlocks(uint64_t offset, uint64_t n);
+  void ClearReadErrorLocked(uint64_t offset, uint64_t n);
 
   std::unique_ptr<Drive> target_;
+
+  // Guards all injected-fault state below; sharded stacks issue I/O to one
+  // decorated drive from several shards at once. The target drive has its
+  // own internal lock, so mu_ is released before delegating would be ideal,
+  // but fault decisions and the delegated call must be atomic (a torn-write
+  // budget shared between two racing writes must charge exactly once), so
+  // the delegate happens under mu_ too.
+  mutable std::mutex mu_;
 
   // block index -> remaining failures (<0 = permanent).
   std::map<uint64_t, int> bad_blocks_;

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <vector>
 
 #include "smr/device_metrics.h"
@@ -31,6 +32,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
   Status Read(uint64_t offset, uint64_t n, char* scratch) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     // Reading a band with a pending buffered modification forces the
     // write-back first (the translation layer cleans before serving).
     if (open_band_ >= 0 && offset + n > geo_.conventional_bytes &&
@@ -53,6 +55,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
   Status Write(uint64_t offset, const Slice& data) override {
     if (Status s = CheckRange(offset, data.size()); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     met_.write_ops->Inc();
     met_.logical_write->Add(data.size());
 
@@ -81,6 +84,7 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
   Status Trim(uint64_t offset, uint64_t n) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     if (open_band_ >= 0) FlushOpenBand();
     media_.MarkInvalid(offset, n);
     // Reset write pointers of bands that no longer hold any valid data so
@@ -102,12 +106,14 @@ class FixedBandDriveImpl final : public FixedBandDrive {
   DeviceStats stats() const override { return met_.ToStats(); }
 
   bool IsValid(uint64_t offset, uint64_t n) const override {
+    std::lock_guard<std::mutex> l(mu_);
     return media_.AllValid(offset, n);
   }
 
   uint64_t num_zones() const override { return write_pointers_.size(); }
 
   ZoneInfo Zone(uint64_t index) const override {
+    std::lock_guard<std::mutex> l(mu_);
     const_cast<FixedBandDriveImpl*>(this)->FlushOpenBandIfAny();
     ZoneInfo z;
     z.start = BandStart(index);
@@ -226,6 +232,8 @@ class FixedBandDriveImpl final : public FixedBandDrive {
 
   Geometry geo_;
   uint64_t band_bytes_;
+  // Serializes media/latency/band state for concurrent shard I/O.
+  mutable std::mutex mu_;
   MediaStore media_;
   LatencyModel latency_;
   DeviceMetrics met_;

@@ -1,3 +1,5 @@
+#include <mutex>
+
 #include "smr/device_metrics.h"
 #include "smr/drive.h"
 
@@ -19,6 +21,7 @@ class HddDrive final : public Drive {
 
   Status Read(uint64_t offset, uint64_t n, char* scratch) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     if (latency_.head_position() != offset) met_.seeks->Inc();
     met_.busy->AddSeconds(latency_.Access(offset, n, /*is_write=*/false));
     met_.position->AddSeconds(latency_.last_position_seconds());
@@ -31,6 +34,7 @@ class HddDrive final : public Drive {
 
   Status Write(uint64_t offset, const Slice& data) override {
     if (Status s = CheckRange(offset, data.size()); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     if (offset + data.size() <= geo_.conventional_bytes) {
       // Metadata region: absorbed by the write cache.
       met_.busy->AddSeconds(
@@ -51,6 +55,7 @@ class HddDrive final : public Drive {
 
   Status Trim(uint64_t offset, uint64_t n) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     media_.MarkInvalid(offset, n);
     return Status::OK();
   }
@@ -59,6 +64,7 @@ class HddDrive final : public Drive {
   DeviceStats stats() const override { return met_.ToStats(); }
 
   bool IsValid(uint64_t offset, uint64_t n) const override {
+    std::lock_guard<std::mutex> l(mu_);
     return media_.AllValid(offset, n);
   }
 
@@ -74,6 +80,8 @@ class HddDrive final : public Drive {
   }
 
   Geometry geo_;
+  // Serializes media/latency state for concurrent shard I/O (one spindle).
+  mutable std::mutex mu_;
   MediaStore media_;
   LatencyModel latency_;
   DeviceMetrics met_;

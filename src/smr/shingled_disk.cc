@@ -2,6 +2,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "smr/device_metrics.h"
 #include "smr/drive.h"
@@ -27,6 +28,7 @@ class ShingledDiskImpl final : public ShingledDisk {
 
   Status Read(uint64_t offset, uint64_t n, char* scratch) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     if (latency_.head_position() != offset) met_.seeks->Inc();
     met_.busy->AddSeconds(latency_.Access(offset, n, /*is_write=*/false));
     met_.position->AddSeconds(latency_.last_position_seconds());
@@ -39,6 +41,7 @@ class ShingledDiskImpl final : public ShingledDisk {
 
   Status Write(uint64_t offset, const Slice& data) override {
     if (Status s = CheckRange(offset, data.size()); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     const uint64_t n = data.size();
 
     if (offset + n > geo_.conventional_bytes) {
@@ -109,6 +112,7 @@ class ShingledDiskImpl final : public ShingledDisk {
 
   Status Trim(uint64_t offset, uint64_t n) override {
     if (Status s = CheckRange(offset, n); !s.ok()) return s;
+    std::lock_guard<std::mutex> l(mu_);
     valid_bytes_ -= media_.CountValidBytes(offset, n);
     media_.MarkInvalid(offset, n);
     return Status::OK();
@@ -118,12 +122,17 @@ class ShingledDiskImpl final : public ShingledDisk {
   DeviceStats stats() const override { return met_.ToStats(); }
 
   bool IsValid(uint64_t offset, uint64_t n) const override {
+    std::lock_guard<std::mutex> l(mu_);
     return media_.AllValid(offset, n);
   }
 
-  uint64_t valid_bytes() const override { return valid_bytes_; }
+  uint64_t valid_bytes() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return valid_bytes_;
+  }
 
   uint64_t ValidFrontier() const override {
+    std::lock_guard<std::mutex> l(mu_);
     return media_.ValidFrontier(0, frontier_hint_);
   }
 
@@ -139,6 +148,11 @@ class ShingledDiskImpl final : public ShingledDisk {
   }
 
   Geometry geo_;
+  // Serializes media/latency/validity state: with the sharded engine, N
+  // independent FileStores issue I/O to this one drive concurrently. A
+  // single real spindle serializes requests anyway, so a mutex is the
+  // honest model, not a bottleneck.
+  mutable std::mutex mu_;
   MediaStore media_;
   LatencyModel latency_;
   DeviceMetrics met_;
