@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "buf/buffer_pool.h"
+#include "ycsb/generator.h"
 
 namespace sealdb::bench {
 namespace {
@@ -89,12 +91,21 @@ struct ConfigResult {
   double wa = 0.0;   // engine write amplification
   double awa = 0.0;  // device auxiliary write amplification
   uint64_t guard_violations = 0;
+  // Buffer-pool figures (zero when the config disables the pool).
+  bool has_pool = false;
+  uint64_t pool_capacity_bytes = 0;
+  uint64_t buf_hits = 0;
+  uint64_t buf_misses = 0;
+  uint64_t buf_optimistic_hits = 0;
+  uint64_t buf_evictions = 0;
+  double buf_hit_ratio = 0.0;
 };
 
 ConfigResult RunConfig(const BenchParams& params, const std::string& label,
                        int workers, bool executor_features,
                        bool uniform_reads, int num_shards,
-                       int client_threads) {
+                       int client_threads, uint64_t buffer_pool_bytes = 0,
+                       bool zipfian_reads = false) {
   ConfigResult out;
   out.label = label;
   out.workers = workers;
@@ -106,6 +117,7 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
   config.max_background_compactions = workers;
   config.compaction_readahead = executor_features;
   config.enable_block_cache = executor_features;
+  config.buffer_pool_bytes = buffer_pool_bytes;
   config.num_shards = num_shards;
 
   std::unique_ptr<Stack> stack;
@@ -183,6 +195,11 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
     const double dev0 = stack->device_stats().busy_seconds;
     auto read_worker = [&](int t) {
       Random rnd(401 + t);
+      // Zipfian-read configs draw keys from YCSB's scrambled zipfian over
+      // the whole key space (hot keys scattered, a long cold tail) — the
+      // shape the pool's working set is sized against.
+      ycsb::ScrambledZipfianGenerator zipf(entries,
+                                           static_cast<uint32_t>(401 + t));
       ReadOptions ro;
       std::string value;
       const uint64_t n = params.read_ops / nthreads +
@@ -192,7 +209,9 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
       lats[t].reserve(n);
       for (uint64_t i = 0; i < n; i++) {
         uint64_t id;
-        if (uniform_reads || rnd.Uniform(100) >= 95) {
+        if (zipfian_reads) {
+          id = zipf.Next() % entries;
+        } else if (uniform_reads || rnd.Uniform(100) >= 95) {
           id = rnd.Next64() % entries;
         } else {
           id = rnd.Next64() % hot_span;
@@ -243,6 +262,17 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
       reg.counter_family_sum("sealdb_smr_guard_violations_total");
   out.num_compactions =
       reg.counter_family_sum("sealdb_engine_compactions_total");
+  if (buf::BufferPool* pool = stack->buffer_pool()) {
+    out.has_pool = true;
+    out.pool_capacity_bytes = pool->capacity_bytes();
+    out.buf_hits = pool->hits();
+    out.buf_misses = pool->misses();
+    out.buf_optimistic_hits = pool->optimistic_hits();
+    out.buf_evictions = pool->evictions();
+    const uint64_t total = out.buf_hits + out.buf_misses;
+    out.buf_hit_ratio =
+        total > 0 ? static_cast<double>(out.buf_hits) / total : 0.0;
+  }
   if (num_shards > 1) {
     for (int i = 0; i < num_shards; i++) {
       out.shard_compactions.push_back(reg.counter_family_sum(
@@ -291,6 +321,19 @@ void EmitConfig(std::FILE* f, const ConfigResult& r, bool trailing_comma) {
     }
     std::fprintf(f, "],\n");
   }
+  if (r.has_pool) {
+    std::fprintf(f,
+                 "    \"buffer_pool\": {\"capacity_bytes\": %llu, "
+                 "\"hits\": %llu, \"misses\": %llu, "
+                 "\"optimistic_hits\": %llu, \"evictions\": %llu, "
+                 "\"hit_ratio\": %.4f},\n",
+                 static_cast<unsigned long long>(r.pool_capacity_bytes),
+                 static_cast<unsigned long long>(r.buf_hits),
+                 static_cast<unsigned long long>(r.buf_misses),
+                 static_cast<unsigned long long>(r.buf_optimistic_hits),
+                 static_cast<unsigned long long>(r.buf_evictions),
+                 r.buf_hit_ratio);
+  }
   std::fprintf(f, "    \"max_parallel_compactions\": %llu\n  }%s\n",
                static_cast<unsigned long long>(r.max_parallel_compactions),
                trailing_comma ? "," : "");
@@ -324,6 +367,19 @@ int Run(int argc, char** argv) {
       RunConfig(params, "sharded-4", 4, true, uniform_reads,
                 /*num_shards=*/4, /*client_threads=*/4);
 
+  // Read-heavy cache-pressure config: the buffer pool is sized to a
+  // quarter of the loaded volume (working set ≈ 4× pool) and the read
+  // phase draws zipfian keys over the whole key space with twice the
+  // read volume, so hit ratio and eviction churn — not fill throughput —
+  // dominate its sustained figure.
+  BenchParams read_params = params;
+  read_params.read_ops = 2 * params.entries();
+  const ConfigResult read_heavy =
+      RunConfig(read_params, "read-heavy-zipf", 4, true, uniform_reads,
+                /*num_shards=*/1, /*client_threads=*/1,
+                /*buffer_pool_bytes=*/(params.load_mb << 20) / 4,
+                /*zipfian_reads=*/true);
+
   auto sustained = [](const ConfigResult& r) {
     const double dev = r.fill.device_seconds + r.read.device_seconds;
     return dev > 0 ? (r.fill.ops + r.read.ops) / dev : 0.0;
@@ -350,7 +406,7 @@ int Run(int argc, char** argv) {
                 serial.fill.wall_ops_per_second()
           : 0.0;
 
-  for (const ConfigResult* r : {&serial, &parallel, &sharded}) {
+  for (const ConfigResult* r : {&serial, &parallel, &sharded, &read_heavy}) {
     char title[96];
     std::snprintf(title, sizeof(title),
                   "%s (workers=%d, shards=%d, client_threads=%d)",
@@ -370,6 +426,13 @@ int Run(int argc, char** argv) {
     PrintKV("compactions", static_cast<double>(r->num_compactions), "");
     PrintKV("max parallel compactions",
             static_cast<double>(r->max_parallel_compactions), "");
+    if (r->has_pool) {
+      PrintKV("buffer pool hit ratio", r->buf_hit_ratio, "");
+      PrintKV("buffer pool optimistic hits",
+              static_cast<double>(r->buf_optimistic_hits), "");
+      PrintKV("buffer pool evictions",
+              static_cast<double>(r->buf_evictions), "");
+    }
   }
   PrintHeader("comparison (vs single-threaded-seed)");
   PrintKV("executor device ops/s speedup", speedup, "x");
@@ -390,7 +453,8 @@ int Run(int argc, char** argv) {
                static_cast<unsigned long long>(params.load_mb));
   EmitConfig(f, serial, true);
   EmitConfig(f, parallel, true);
-  EmitConfig(f, sharded, false);
+  EmitConfig(f, sharded, true);
+  EmitConfig(f, read_heavy, false);
   std::fprintf(f,
                "],\n\"sustained_device_ops_speedup\": %.3f,\n"
                "\"sustained_wall_ops_speedup\": %.3f,\n"

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Bench-regression gate for BENCH_smoke.json.
 
-Compares a fresh bench run against a committed baseline in two currencies
-and fails when any configuration regresses by more than that currency's
-threshold:
+Compares a fresh bench run against a committed baseline in three
+currencies and fails when any configuration regresses by more than that
+currency's threshold:
 
  * Device currency — ops per simulated drive-busy second. Deterministic
    enough to gate tightly (--threshold, default 15%).
@@ -11,6 +11,10 @@ threshold:
    on shared runners, so it gets a laxer bound (--wall-threshold, default
    35%) that still catches a config silently falling off a cliff (e.g.
    the sharded engine losing its concurrency win).
+ * Read currency — read-phase ops per read-phase device second
+   (--read-threshold, default 15%). Guards the buffer-pool read path: a
+   hit-ratio collapse shows up as extra device reads long before it moves
+   the combined fill+read figure, since fill traffic dominates that one.
 
 Multiple CURRENT files may be given (best-of-N): each configuration is
 judged on its best run in each currency, so a regression only fails the
@@ -46,13 +50,22 @@ def sustained_wall_ops(config):
     return ops / wall if wall > 0 else 0.0
 
 
+def read_device_ops(config):
+    """read-phase ops per read-phase device second (buffer-pool currency)."""
+    ops = config["read"]["ops"]
+    dev = config["read"].get("device_seconds", 0.0)
+    return ops / dev if dev > 0 else 0.0
+
+
 CURRENCIES = [
     ("device", sustained_device_ops, "sustained device ops/s"),
     ("wall", sustained_wall_ops, "sustained wall ops/s"),
+    ("read", read_device_ops, "read-phase device ops/s"),
 ]
 
 
-def gate(baseline, currents, threshold, wall_threshold=None):
+def gate(baseline, currents, threshold, wall_threshold=None,
+         read_threshold=None):
     """Returns (ok, report_lines). Compares every config label in the
     baseline against its best showing across the current runs; a label
     missing from every current run is itself a failure (a silently
@@ -62,7 +75,10 @@ def gate(baseline, currents, threshold, wall_threshold=None):
         currents = [currents]
     if wall_threshold is None:
         wall_threshold = threshold
-    thresholds = {"device": threshold, "wall": wall_threshold}
+    if read_threshold is None:
+        read_threshold = threshold
+    thresholds = {"device": threshold, "wall": wall_threshold,
+                  "read": read_threshold}
     base_by_label = {c["label"]: c for c in baseline.get("configs", [])}
     # best[currency][label] -> best sustained value across current runs
     best = {key: {} for key, _, _ in CURRENCIES}
@@ -103,17 +119,22 @@ def gate(baseline, currents, threshold, wall_threshold=None):
     return ok, lines
 
 
-def synthetic(scale, wall_scale=None):
-    """A minimal bench document whose sustained device ops/s is 1000*scale
-    and whose sustained wall ops/s is 1000*wall_scale (defaults to the
-    device scale)."""
+def synthetic(scale, wall_scale=None, read_scale=None):
+    """A minimal bench document whose device ops/s is 1000*scale, wall
+    ops/s 1000*wall_scale, and read-phase device ops/s 1000*read_scale
+    (both default to the device scale). Fill dominates the volume (900 of
+    1000 ops) so a read-phase-only change barely moves the combined
+    figure — the situation the read currency exists for."""
     if wall_scale is None:
         wall_scale = scale
-    def phase(ops):
-        return {"ops": ops, "device_seconds": ops / (1000.0 * scale),
+    if read_scale is None:
+        read_scale = scale
+    def phase(ops, dev_scale):
+        return {"ops": ops, "device_seconds": ops / (1000.0 * dev_scale),
                 "wall_seconds": ops / (1000.0 * wall_scale)}
     return {"configs": [{"label": "executor-4w",
-                         "fill": phase(500), "read": phase(500)}]}
+                         "fill": phase(900, scale),
+                         "read": phase(100, read_scale)}]}
 
 
 def selftest():
@@ -145,6 +166,16 @@ def selftest():
                             "read": {"ops": 500, "device_seconds": 0.5}}]}
     ok, _ = gate(no_wall, synthetic(1.0), 0.15, 0.35)
     assert ok, "baseline without wall figures must not fail the wall gate"
+    # Read currency: a read-phase-only device regression (a hit-ratio
+    # collapse) must fail the read gate even though fill traffic keeps the
+    # combined device figure inside its threshold.
+    ok, _ = gate(base, synthetic(1.0, read_scale=0.50), 0.15, 0.35)
+    assert not ok, "50% read-phase regression must fail the read gate"
+    ok, _ = gate(base, synthetic(1.0, read_scale=0.90), 0.15, 0.35)
+    assert ok, "10% read-phase regression must pass the 15% read gate"
+    ok, _ = gate(base, synthetic(1.0, read_scale=0.50), 0.15, 0.35,
+                 read_threshold=0.60)
+    assert ok, "read regression within --read-threshold must pass"
     # Best-of-N: one noisy bad run must not fail when another run is fine,
     # but a regression present in every run must.
     ok, _ = gate(base, [synthetic(0.80), synthetic(0.98)], 0.15, 0.35)
@@ -166,6 +197,9 @@ def main(argv):
     parser.add_argument("--wall-threshold", type=float, default=0.35,
                         help="max allowed fractional wall-clock regression "
                              "(laxer: shared runners are noisy)")
+    parser.add_argument("--read-threshold", type=float, default=0.15,
+                        help="max allowed fractional regression in "
+                             "read-phase device ops/s (buffer-pool path)")
     parser.add_argument("--selftest", action="store_true",
                         help="verify the gate fails synthetic regressions "
                              "in both currencies")
@@ -187,7 +221,8 @@ def main(argv):
         print(f"bench_gate: {e}", file=sys.stderr)
         return 2
 
-    ok, lines = gate(baseline, currents, args.threshold, args.wall_threshold)
+    ok, lines = gate(baseline, currents, args.threshold, args.wall_threshold,
+                     args.read_threshold)
     for line in lines:
         print(line)
     if not ok:

@@ -32,6 +32,10 @@ StackConfig StackConfig::Scaled(uint64_t factor) const {
   c.write_buffer_bytes /= factor;
   c.block_cache_bytes = std::max<uint64_t>(256 << 10,
                                            block_cache_bytes / factor);
+  if (buffer_pool_bytes > 0) {
+    c.buffer_pool_bytes = std::max<uint64_t>(256 << 10,
+                                             buffer_pool_bytes / factor);
+  }
   c.track_bytes = static_cast<uint32_t>(
       std::max<uint64_t>(4096, track_bytes / factor));
   c.conventional_bytes = std::max<uint64_t>(4ull << 20,
@@ -68,8 +72,14 @@ Options MakeOptions(const StackConfig& config, const FilterPolicy* filter,
   opt.max_file_size = config.sstable_bytes;
   opt.filter_policy = filter;
   opt.inline_compactions = config.inline_compactions;
-  opt.block_cache_bytes = config.enable_block_cache ? config.block_cache_bytes
-                                                    : 0;
+  // Resolve the read-cache budget here (buffer_pool_bytes wins, the
+  // deprecated block_cache_bytes is the fallback) so OpenEngines can size
+  // the one stack-wide pool from opt.buffer_pool_bytes directly.
+  opt.buffer_pool_bytes =
+      config.enable_block_cache
+          ? (config.buffer_pool_bytes > 0 ? config.buffer_pool_bytes
+                                          : config.block_cache_bytes)
+          : 0;
   opt.compaction_readahead = config.compaction_readahead;
   // Per-system executor width: set/band designs have naturally disjoint
   // compaction units, so they profit most from extra workers.
@@ -211,6 +221,19 @@ Status Stack::OpenEngines(bool format) {
     if (!s.ok()) return s;
   }
 
+  // ONE buffer pool for the whole stack: every shard column caches into
+  // the same frames, so the read-cache budget is a process-wide resource
+  // and an idle shard's share isn't stranded. Created once; Reopen()
+  // reuses it (the per-owner purge in ~TableCache keeps it consistent).
+  const size_t pool_bytes = options_.effective_buffer_pool_bytes();
+  if (buffer_pool_ == nullptr && pool_bytes > 0) {
+    buf::BufferPool::Config pool_config;
+    pool_config.capacity_bytes = pool_bytes;
+    pool_config.metrics_registry = options_.metrics_registry;
+    buffer_pool_ = std::make_unique<buf::BufferPool>(pool_config);
+  }
+  options_.buffer_pool = buffer_pool_.get();
+
   dyn_alloc_ = nullptr;
   std::vector<std::unique_ptr<DB>> dbs;
   for (int i = 0; i < shards; i++) {
@@ -229,11 +252,10 @@ Status Stack::OpenEngines(bool format) {
     Options shard_opt = options_;
     if (shards > 1) {
       shard_opt.metrics_shard_label = label;
-      // Shards split the process-wide budgets: the cache and executor are
-      // per-engine resources, and N full-size copies would change the
-      // stack's footprint, not just its partitioning.
-      shard_opt.block_cache_bytes = std::max<size_t>(
-          256 << 10, options_.block_cache_bytes / shards);
+      // The read cache is NOT split: every shard uses the one shared pool
+      // above. The executor stays a per-engine resource, so N full-size
+      // copies would change the stack's footprint, not just its
+      // partitioning.
       shard_opt.max_background_compactions =
           std::max(1, options_.max_background_compactions / shards);
       // Only shard 0 folds the shared external counter into its memory

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/buffer_pool.h"
 #include "core/dynamic_band_allocator.h"
 #include "fs/ext4_allocator.h"
 #include "fs/file_store.h"
@@ -63,9 +64,12 @@ struct StackConfig {
   // variants get 2.
   int max_background_compactions = 0;
 
-  // Shared LRU block cache for the foreground read path. Scaled with the
-  // stack; disable for cache-sensitivity benches.
+  // Shared page-based buffer pool for the foreground read path (src/buf/):
+  // ONE pool serves every shard column. Disable for cache-sensitivity
+  // benches. buffer_pool_bytes = 0 falls back to the deprecated
+  // block_cache_bytes knob so older configs keep their sizing.
   bool enable_block_cache = true;
+  uint64_t buffer_pool_bytes = 0;
   uint64_t block_cache_bytes = 8ull << 20;
 
   // Double-buffered chunked readahead for compaction input scans; off
@@ -120,6 +124,10 @@ class Stack {
   // the wrapper itself).
   smr::FaultInjectionDrive* fault_drive() { return fault_; }
   core::DynamicBandAllocator* dynamic_allocator() { return dyn_alloc_; }
+  // The one buffer pool shared by every shard column; null when the stack
+  // was built with enable_block_cache = false. Survives Reopen() so a
+  // restart keeps its hot pages (stale frames are purged per owner).
+  buf::BufferPool* buffer_pool() { return buffer_pool_.get(); }
   const Options& options() const { return options_; }
   const StackConfig& config() const { return config_; }
 
@@ -169,6 +177,9 @@ class Stack {
   Options options_;
   std::string dbname_;
   std::unique_ptr<const FilterPolicy> filter_;
+  // Declared before the stores and db_ so every Table's pinned pages drop
+  // before the pool dies.
+  std::unique_ptr<buf::BufferPool> buffer_pool_;
   std::unique_ptr<smr::Drive> drive_;
   smr::ShingledDisk* shingled_ = nullptr;
   smr::FaultInjectionDrive* fault_ = nullptr;

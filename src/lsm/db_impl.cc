@@ -92,7 +92,7 @@ static Options SanitizeOptions(const std::string& dbname,
                                const InternalKeyComparator* icmp,
                                const InternalFilterPolicy* ipolicy,
                                const Options& src,
-                               std::unique_ptr<Cache>* owned_block_cache) {
+                               std::unique_ptr<buf::BufferPool>* owned_pool) {
   (void)dbname;
   Options result = src;
   result.comparator = icmp;
@@ -104,9 +104,13 @@ static Options SanitizeOptions(const std::string& dbname,
   ClipToRange(&result.max_background_compactions, 1, 8);
   if (result.num_levels < 2) result.num_levels = 2;
   if (result.num_levels > 16) result.num_levels = 16;
-  if (result.block_cache == nullptr && result.block_cache_bytes > 0) {
-    *owned_block_cache = NewLRUCache(result.block_cache_bytes);
-    result.block_cache = owned_block_cache->get();
+  const size_t pool_bytes = result.effective_buffer_pool_bytes();
+  if (result.buffer_pool == nullptr && pool_bytes > 0) {
+    buf::BufferPool::Config pool_config;
+    pool_config.capacity_bytes = pool_bytes;
+    pool_config.metrics_registry = result.metrics_registry;
+    *owned_pool = std::make_unique<buf::BufferPool>(pool_config);
+    result.buffer_pool = owned_pool->get();
   }
   return result;
 }
@@ -122,7 +126,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
       internal_filter_policy_(raw_options.filter_policy),
       options_(SanitizeOptions(dbname, &internal_comparator_,
                                &internal_filter_policy_, raw_options,
-                               &owned_block_cache_)),
+                               &owned_buffer_pool_)),
       dbname_(dbname),
       store_(store),
       table_cache_(std::make_unique<TableCache>(dbname_, options_, store_,
@@ -1697,8 +1701,15 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       ok = true;
     } else if (in == "approximate-memory-usage") {
       size_t total_usage = 0;
-      if (options_.block_cache != nullptr) {
-        total_usage += options_.block_cache->TotalCharge();
+      if (options_.buffer_pool != nullptr) {
+        // A shared pool's bytes belong to the whole stack; count them once
+        // (in the unlabeled or shard-0 engine) so a sharded stack summing
+        // per-shard properties doesn't multiply the pool.
+        if (owned_buffer_pool_ != nullptr ||
+            options_.metrics_shard_label.empty() ||
+            options_.metrics_shard_label == "0") {
+          total_usage += options_.buffer_pool->usage_bytes();
+        }
       }
       if (mem_) {
         total_usage += mem_->ApproximateMemoryUsage();

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "buf/buffer_pool.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
 #include "lsm/engine_metrics.h"
@@ -162,11 +163,11 @@ class DBImpl : public DB {
   // Constant after construction
   const InternalKeyComparator internal_comparator_;
   const InternalFilterPolicy internal_filter_policy_;
-  // Default block cache owned by this DB (options_.block_cache points here
-  // when the caller supplied none and block_cache_bytes > 0). Declared
-  // before options_/table_cache_/versions_ so it outlives every Table that
-  // holds cached blocks.
-  std::unique_ptr<Cache> owned_block_cache_;
+  // Default buffer pool owned by this DB (options_.buffer_pool points here
+  // when the caller supplied none and the effective pool size > 0).
+  // Declared before options_/table_cache_/versions_ so it outlives every
+  // Table that holds pinned pages.
+  std::unique_ptr<buf::BufferPool> owned_buffer_pool_;
   const Options options_;  // options_.comparator == &internal_comparator_
   const std::string dbname_;
   fs::FileStore* const store_;

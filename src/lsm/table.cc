@@ -1,37 +1,61 @@
 #include "lsm/table.h"
 
+#include "buf/buffer_pool.h"
 #include "fs/file_store.h"
 #include "lsm/block.h"
 #include "lsm/filter_block.h"
 #include "lsm/format.h"
 #include "lsm/two_level_iterator.h"
-#include "util/cache.h"
 #include "util/coding.h"
 #include "util/comparator.h"
 #include "util/filter_policy.h"
 
 namespace sealdb {
 
+namespace {
+
+// A pooled filter page: owns the raw filter bytes so the page can outlive
+// the Table that read it (a FilterBlockReader is rebuilt per table from
+// the shared bytes).
+struct FilterPage {
+  const char* data = nullptr;
+  size_t size = 0;
+  ~FilterPage() { delete[] data; }
+};
+
+void DeleteFilterPageValue(void* value) {
+  delete static_cast<FilterPage*>(value);
+}
+
+void DeleteBlockValue(void* value) { delete static_cast<Block*>(value); }
+
+}  // namespace
+
 struct Table::Rep {
   ~Rep() {
     delete filter;
     delete[] filter_data;
-    delete index_block;
+    if (index_owned) delete index_block;
   }
 
   Options options;
   Status status;
   fs::RandomAccessFile* file;
-  uint64_t cache_id;
+  buf::BufferClient buffer;  // empty => read blocks privately, no caching
+  uint64_t file_number;
   FilterBlockReader* filter;
-  const char* filter_data;
+  const char* filter_data;               // owned iff non-null (unpooled path)
+  buf::BufferPool::PageRef filter_page;  // pins the pooled filter bytes
 
   BlockHandle metaindex_handle;  // Handle to metaindex_block: saved from footer
   Block* index_block;
+  bool index_owned;                     // false when the pool owns it
+  buf::BufferPool::PageRef index_page;  // pins the pooled index block
 };
 
 Status Table::Open(const Options& options, fs::RandomAccessFile* file,
-                   uint64_t size, Table** table) {
+                   uint64_t size, Table** table,
+                   const buf::BufferClient& buffer, uint64_t file_number) {
   *table = nullptr;
   if (size < Footer::kEncodedLength) {
     return Status::Corruption("file is too short to be an sstable");
@@ -47,25 +71,51 @@ Status Table::Open(const Options& options, fs::RandomAccessFile* file,
   s = footer.DecodeFrom(&footer_input);
   if (!s.ok()) return s;
 
-  // Read the index block
-  BlockContents index_block_contents;
+  // Read the index block: pooled (and pinned for the table's lifetime,
+  // the strongest admission bias) when a buffer client is supplied.
   ReadOptions opt;
   if (options.paranoid_checks) {
     opt.verify_checksums = true;
   }
-  s = ReadBlock(file, opt, footer.index_handle(), &index_block_contents);
+  Block* index_block = nullptr;
+  bool index_owned = true;
+  buf::BufferPool::PageRef index_page;
+  const uint64_t index_offset = footer.index_handle().offset();
+  if (buffer &&
+      buffer.pool->Lookup(buffer, file_number, index_offset,
+                          buf::BlockKind::kIndex, &index_page)) {
+    index_block = static_cast<Block*>(index_page.value());
+    index_owned = false;
+  } else {
+    BlockContents index_block_contents;
+    s = ReadBlock(file, opt, footer.index_handle(), &index_block_contents);
+    if (s.ok()) {
+      index_block = new Block(index_block_contents);
+      if (buffer && index_block_contents.cachable) {
+        buffer.pool->Insert(buffer, file_number, index_offset,
+                            buf::BlockKind::kIndex, index_block,
+                            index_block->size(), &DeleteBlockValue,
+                            &index_page);
+        // A racing open may have inserted this index first, in which case
+        // the resident copy won and ours was deleted.
+        index_block = static_cast<Block*>(index_page.value());
+        index_owned = false;
+      }
+    }
+  }
 
   if (s.ok()) {
     // We've successfully read the footer and the index block: we're
     // ready to serve requests.
-    Block* index_block = new Block(index_block_contents);
     Rep* rep = new Table::Rep;
     rep->options = options;
     rep->file = file;
+    rep->buffer = buffer;
+    rep->file_number = file_number;
     rep->metaindex_handle = footer.metaindex_handle();
     rep->index_block = index_block;
-    rep->cache_id =
-        (options.block_cache ? options.block_cache->NewId() : 0);
+    rep->index_owned = index_owned;
+    rep->index_page = std::move(index_page);
     rep->filter_data = nullptr;
     rep->filter = nullptr;
     *table = new Table(rep);
@@ -109,14 +159,41 @@ void Table::ReadFilter(const Slice& filter_handle_value) {
     return;
   }
 
-  // We might want to unify with ReadBlock() if we start
-  // requiring checksum verification in Table::Open.
+  const buf::BufferClient& buffer = rep_->buffer;
+  if (buffer) {
+    // Pooled filter page, pinned for the table's lifetime so lookups
+    // never re-read filter bytes while the table is open.
+    if (buffer.pool->Lookup(buffer, rep_->file_number,
+                            filter_handle.offset(), buf::BlockKind::kFilter,
+                            &rep_->filter_page)) {
+      auto* page = static_cast<FilterPage*>(rep_->filter_page.value());
+      rep_->filter = new FilterBlockReader(rep_->options.filter_policy,
+                                           Slice(page->data, page->size));
+      return;
+    }
+  }
+
   ReadOptions opt;
   if (rep_->options.paranoid_checks) {
     opt.verify_checksums = true;
   }
   BlockContents block;
   if (!ReadBlock(rep_->file, opt, filter_handle, &block).ok()) {
+    return;
+  }
+  if (buffer && block.heap_allocated) {
+    auto* page = new FilterPage;
+    page->data = block.data.data();
+    page->size = block.data.size();
+    buffer.pool->Insert(buffer, rep_->file_number, filter_handle.offset(),
+                        buf::BlockKind::kFilter, page,
+                        page->size + sizeof(FilterPage),
+                        &DeleteFilterPageValue, &rep_->filter_page);
+    // A racing open may have inserted this filter first; ours would have
+    // been deleted, so read back the resident page.
+    page = static_cast<FilterPage*>(rep_->filter_page.value());
+    rep_->filter = new FilterBlockReader(rep_->options.filter_policy,
+                                         Slice(page->data, page->size));
     return;
   }
   if (block.heap_allocated) {
@@ -132,26 +209,14 @@ static void DeleteBlock(void* arg, void* ignored) {
   delete reinterpret_cast<Block*>(arg);
 }
 
-static void DeleteCachedBlock(const Slice& key, void* value) {
-  (void)key;
-  Block* block = reinterpret_cast<Block*>(value);
-  delete block;
-}
-
-static void ReleaseBlock(void* arg, void* h) {
-  Cache* cache = reinterpret_cast<Cache*>(arg);
-  Cache::Handle* handle = reinterpret_cast<Cache::Handle*>(h);
-  cache->Release(handle);
-}
-
 // Convert an index iterator value (i.e., an encoded BlockHandle)
 // into an iterator over the contents of the corresponding block.
 Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
                              const Slice& index_value) {
   Table* table = reinterpret_cast<Table*>(arg);
-  Cache* block_cache = table->rep_->options.block_cache;
+  const buf::BufferClient& buffer = table->rep_->buffer;
   Block* block = nullptr;
-  Cache::Handle* cache_handle = nullptr;
+  buf::BufferPool::PageRef page;
 
   BlockHandle handle;
   Slice input = index_value;
@@ -161,21 +226,23 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
 
   if (s.ok()) {
     BlockContents contents;
-    if (block_cache != nullptr) {
-      char cache_key_buffer[16];
-      EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
-      EncodeFixed64(cache_key_buffer + 8, handle.offset());
-      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
-      cache_handle = block_cache->Lookup(key);
-      if (cache_handle != nullptr) {
-        block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+    if (buffer) {
+      if (buffer.pool->Lookup(buffer, table->rep_->file_number,
+                              handle.offset(), buf::BlockKind::kData,
+                              &page)) {
+        block = static_cast<Block*>(page.value());
       } else {
         s = ReadBlock(table->rep_->file, options, handle, &contents);
         if (s.ok()) {
           block = new Block(contents);
           if (contents.cachable && options.fill_cache) {
-            cache_handle = block_cache->Insert(key, block, block->size(),
-                                               &DeleteCachedBlock);
+            buffer.pool->Insert(buffer, table->rep_->file_number,
+                                handle.offset(), buf::BlockKind::kData,
+                                block, block->size(), &DeleteBlockValue,
+                                &page);
+            // If a racing reader inserted this page first, the resident
+            // copy won and ours was deleted: always adopt the pinned one.
+            block = static_cast<Block*>(page.value());
           }
         }
       }
@@ -190,10 +257,12 @@ Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
   Iterator* iter;
   if (block != nullptr) {
     iter = block->NewIterator(table->rep_->options.comparator);
-    if (cache_handle == nullptr) {
-      iter->RegisterCleanup(&DeleteBlock, block, nullptr);
+    if (page) {
+      // Hand the pin to the iterator: released when the iterator dies.
+      iter->RegisterCleanup(&buf::BufferPool::UnpinToken, buffer.pool,
+                            page.ReleaseToken());
     } else {
-      iter->RegisterCleanup(&ReleaseBlock, block_cache, cache_handle);
+      iter->RegisterCleanup(&DeleteBlock, block, nullptr);
     }
   } else {
     iter = NewErrorIterator(s);

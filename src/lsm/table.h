@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "buf/buffer_pool.h"
 #include "lsm/iterator.h"
 #include "util/options.h"
 
@@ -27,8 +28,16 @@ class Table {
   // If successful, returns ok and sets "*table" to the newly opened table.
   // The client should delete "*table" when no longer needed. "*file" must
   // remain live while this Table is in use.
+  //
+  // When `buffer` names a registered buffer-pool client, every block this
+  // table reads (data, index, filter) is cached in — and served from —
+  // that pool, keyed by (buffer.owner, file_number, block offset); the
+  // index and filter pages additionally stay pinned for the table's
+  // lifetime. An empty `buffer` reads blocks privately with no caching.
   static Status Open(const Options& options, fs::RandomAccessFile* file,
-                     uint64_t file_size, Table** table);
+                     uint64_t file_size, Table** table,
+                     const buf::BufferClient& buffer = {},
+                     uint64_t file_number = 0);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;

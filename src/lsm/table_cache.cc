@@ -30,7 +30,20 @@ TableCache::TableCache(const std::string& dbname, const Options& options,
     : dbname_(dbname),
       options_(options),
       store_(store),
-      cache_(NewLRUCache(entries)) {}
+      cache_(NewLRUCache(entries)) {
+  if (options.buffer_pool != nullptr) {
+    buffer_ = options.buffer_pool->RegisterClient(options.metrics_shard_label);
+  }
+}
+
+TableCache::~TableCache() {
+  // Close the tables first: their pinned index/filter pages must drop
+  // before the owner purge so the pool can free them immediately.
+  cache_.reset();
+  if (buffer_) {
+    buffer_.pool->UnregisterClient(buffer_);
+  }
+}
 
 Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
                              Cache::Handle** handle) {
@@ -45,7 +58,8 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
     Table* table = nullptr;
     s = store_->NewRandomAccessFile(fname, &file);
     if (s.ok()) {
-      s = Table::Open(options_, file.get(), file_size, &table);
+      s = Table::Open(options_, file.get(), file_size, &table, buffer_,
+                      file_number);
     }
 
     if (!s.ok()) {
@@ -97,6 +111,8 @@ Iterator* TableCache::NewIterator(const ReadOptions& options,
     Status s = store_->NewReadaheadFile(fname, options.readahead_bytes,
                                         &state->file);
     if (s.ok()) {
+      // No buffer client: a one-pass compaction scan must not flush the
+      // pool's hot pages.
       s = Table::Open(options_, state->file.get(), file_size, &state->table);
     }
     if (!s.ok()) {
@@ -142,7 +158,14 @@ Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
 void TableCache::Evict(uint64_t file_number) {
   char buf[sizeof(file_number)];
   EncodeFixed64(buf, file_number);
+  // Erase the table handle first so a cached Table's pinned index/filter
+  // pages unpin (unless an iterator still holds the table), then purge
+  // the dead file's pages from the pool; still-pinned ones are doomed and
+  // freed at last unpin.
   cache_->Erase(Slice(buf, sizeof(buf)));
+  if (buffer_) {
+    buffer_.pool->EvictFile(buffer_, file_number);
+  }
 }
 
 }  // namespace sealdb

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "buf/buffer_pool.h"
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
 #include "util/cache.h"
@@ -26,7 +27,10 @@ class TableCache {
   TableCache(const TableCache&) = delete;
   TableCache& operator=(const TableCache&) = delete;
 
-  ~TableCache() = default;
+  // Drops the cached tables and purges every buffer-pool page owned by
+  // this cache incarnation, so a reopened engine reusing file numbers can
+  // never alias stale frames in a shared pool.
+  ~TableCache();
 
   // Return an iterator for the specified file number (the corresponding
   // file length must be exactly "file_size" bytes).  If "tableptr" is
@@ -43,7 +47,8 @@ class TableCache {
              uint64_t file_size, const Slice& k, void* arg,
              void (*handle_result)(void*, const Slice&, const Slice&));
 
-  // Evict any entry for the specified file number
+  // Evict any entry for the specified file number, including the file's
+  // pages in the buffer pool (dead SSTable after compaction).
   void Evict(uint64_t file_number);
 
  private:
@@ -53,6 +58,9 @@ class TableCache {
   const std::string dbname_;
   const Options& options_;
   fs::FileStore* const store_;
+  // This cache's registration with the shared buffer pool; empty when the
+  // options carry no pool (block reads then go uncached).
+  buf::BufferClient buffer_;
   std::unique_ptr<Cache> cache_;
 };
 

@@ -6,13 +6,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <semaphore>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -89,7 +92,11 @@ struct SealServer::Impl {
     // happens at dispatch (no engine locks taken), and each shard runs its
     // own group-commit leader so independent shards commit concurrently.
     sharded_ = dynamic_cast<ShardedDb*>(db_);
-    write_queues_.resize(sharded_ != nullptr ? sharded_->num_shards() : 1);
+    const int nq = sharded_ != nullptr ? sharded_->num_shards() : 1;
+    write_queues_.reserve(static_cast<size_t>(nq));
+    for (int i = 0; i < nq; i++) {
+      write_queues_.push_back(std::make_unique<WriteQueue>());
+    }
     if (stack_ != nullptr) external_memory_ = stack_->external_memory_bytes();
     registry_ = opts_.metrics_registry;
     if (registry_ == nullptr && stack_ != nullptr) {
@@ -199,14 +206,15 @@ struct SealServer::Impl {
       size_t rq, wq = 0, qb;
       std::vector<size_t> per_shard(g_shard_q.size(), 0);
       {
-        std::lock_guard<std::mutex> l(queue_mu_);
+        std::lock_guard<std::mutex> l(read_mu_);
         rq = read_tasks_.size();
-        for (size_t i = 0; i < write_queues_.size(); i++) {
-          wq += write_queues_[i].tasks.size();
-          if (i < per_shard.size()) per_shard[i] = write_queues_[i].tasks.size();
-        }
-        qb = queued_write_bytes_;
       }
+      for (size_t i = 0; i < write_queues_.size(); i++) {
+        std::lock_guard<std::mutex> l(write_queues_[i]->mu);
+        wq += write_queues_[i]->tasks.size();
+        if (i < per_shard.size()) per_shard[i] = write_queues_[i]->tasks.size();
+      }
+      qb = queued_write_bytes_.load(std::memory_order_relaxed);
       g_read_q->Set(static_cast<double>(rq));
       g_write_q->Set(static_cast<double>(wq));
       for (size_t i = 0; i < g_shard_q.size(); i++) {
@@ -239,49 +247,63 @@ struct SealServer::Impl {
 
   // ---- request queues ----
   // One write queue per engine shard (exactly one for an unsharded DB).
-  // Each queue elects its own group-commit leader, so with N shards up to
-  // N write groups commit concurrently against independent engines. All
-  // queues share queue_mu_: the critical sections are a few pointer moves,
-  // and a single lock keeps the drain/stop logic trivially correct.
-  struct WriteQueue {
+  // Each queue elects its own group-commit leader and carries its OWN
+  // mutex, so two shards never contend on enqueue or leader election; a
+  // separate read_mu_ covers the shared read queue. Work tokens travel
+  // through a counting semaphore: Dispatch releases one per enqueued
+  // request, a worker acquires one and scans the write queues from a
+  // rotating start before falling back to the read queue. A finishing
+  // leader re-releases one token when its queue still holds tasks (their
+  // tokens may have been consumed by workers that found the queue
+  // leader-locked); a surplus token only costs a wake-scan-sleep cycle.
+  struct alignas(64) WriteQueue {
+    std::mutex mu;
     std::deque<Request> tasks;
     size_t queued_bytes = 0;    // payload bytes sitting in `tasks`
     bool leader_active = false; // a worker is committing this queue's group
   };
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
+  // unique_ptr elements: WriteQueue holds a mutex and cannot move.
+  std::vector<std::unique_ptr<WriteQueue>> write_queues_;
+  std::mutex read_mu_;
+  std::deque<Request> read_tasks_;  // guarded by read_mu_
+  std::counting_semaphore<> work_sem_{0};
+  // Total write payload bytes across every queue. Admission does a
+  // fetch_add and undoes it on reject; leaders subtract exactly the bytes
+  // they drained, so the counter never underflows.
+  std::atomic<size_t> queued_write_bytes_{0};
+  std::atomic<uint64_t> next_write_shard_{0};  // rotating scan start
+  std::atomic<int> executing_{0};
+  std::atomic<bool> workers_exit_{false};
+  // Coordinates only the cold drain/quiesce handshake; the hot enqueue
+  // and worker paths never touch it.
+  std::mutex sched_mu_;
   std::condition_variable drain_cv_;
-  std::deque<Request> read_tasks_;
-  std::vector<WriteQueue> write_queues_;  // sized once in the constructor
-  // Total write payload bytes across every queue (guarded by queue_mu_).
-  // The admission budget compares against this before enqueueing.
-  size_t queued_write_bytes_ = 0;
-  int next_write_shard_ = 0;  // round-robin start for leader election
-  int executing_ = 0;
-  bool workers_exit_ = false;
   ShardedDb* sharded_ = nullptr;  // non-null iff db_ is sharded
   // Spreads cross-shard kWriteBatch requests over the queues.
   std::atomic<uint64_t> batch_rr_{0};
 
-  bool AnyWritesQueuedLocked() const {
-    for (const WriteQueue& q : write_queues_) {
-      if (!q.tasks.empty()) return true;
+  // Either tasks waiting for a leader or a leader still committing; the
+  // leader clears leader_active only after the group's executing_ count
+  // has dropped, so drain cannot slip between the two.
+  bool AnyWritesQueued() {
+    for (auto& q : write_queues_) {
+      std::lock_guard<std::mutex> l(q->mu);
+      if (!q->tasks.empty() || q->leader_active) return true;
     }
     return false;
   }
 
-  // Next queue with work and no active leader, rotating the start index so
-  // a busy shard cannot starve the others. Returns -1 if none is runnable.
-  int PickWriteShardLocked() {
-    const int n = static_cast<int>(write_queues_.size());
-    for (int k = 0; k < n; k++) {
-      const int i = (next_write_shard_ + k) % n;
-      if (!write_queues_[i].tasks.empty() && !write_queues_[i].leader_active) {
-        next_write_shard_ = (i + 1) % n;
-        return i;
-      }
-    }
-    return -1;
+  bool ReadsDrained() {
+    std::lock_guard<std::mutex> l(read_mu_);
+    return read_tasks_.empty();
+  }
+
+  // Taking sched_mu_ between the queue-state change and the notify pairs
+  // with the drain predicate being evaluated under sched_mu_, so the
+  // wakeup cannot be lost even though the state lives outside this mutex.
+  void NotifyDrain() {
+    { std::lock_guard<std::mutex> l(sched_mu_); }
+    drain_cv_.notify_all();
   }
 
   // Recently applied write request ids, newest at the back. A retried
@@ -294,7 +316,7 @@ struct SealServer::Impl {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   // Loop acknowledged stopping_: reads are off and every already-received
-  // complete frame has been dispatched. Guarded by queue_mu_.
+  // complete frame has been dispatched. Guarded by sched_mu_.
   bool reads_quiesced_ = false;
   std::atomic<bool> flush_and_exit_{false};
   std::mutex stop_mu_;  // serializes Stop() callers
@@ -508,7 +530,7 @@ struct SealServer::Impl {
       }
     }
     {
-      std::lock_guard<std::mutex> l(queue_mu_);
+      std::lock_guard<std::mutex> l(sched_mu_);
       reads_quiesced_ = true;
     }
     drain_cv_.notify_all();
@@ -703,24 +725,26 @@ struct SealServer::Impl {
     req.payload.assign(payload.data(), payload.size());
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
     bool queue_full = false;
-    {
-      std::lock_guard<std::mutex> l(queue_mu_);
-      if (is_write && opts_.max_queued_write_bytes > 0 &&
-          queued_write_bytes_ > 0 &&
-          queued_write_bytes_ + req.payload.size() >
-              opts_.max_queued_write_bytes) {
+    if (is_write) {
+      const size_t sz = req.payload.size();
+      const size_t prev =
+          queued_write_bytes_.fetch_add(sz, std::memory_order_relaxed);
+      if (opts_.max_queued_write_bytes > 0 && prev > 0 &&
+          prev + sz > opts_.max_queued_write_bytes) {
         // Byte-budgeted write queues: over the shared budget, reject at
         // the door. Empty queues always admit, so a single write larger
         // than the whole budget cannot livelock its retries.
+        queued_write_bytes_.fetch_sub(sz, std::memory_order_relaxed);
         queue_full = true;
-      } else if (is_write) {
-        queued_write_bytes_ += req.payload.size();
-        WriteQueue& q = write_queues_[shard];
-        q.queued_bytes += req.payload.size();
-        q.tasks.push_back(std::move(req));
       } else {
-        read_tasks_.push_back(std::move(req));
+        WriteQueue& q = *write_queues_[shard];
+        std::lock_guard<std::mutex> l(q.mu);
+        q.queued_bytes += sz;
+        q.tasks.push_back(std::move(req));
       }
+    } else {
+      std::lock_guard<std::mutex> l(read_mu_);
+      read_tasks_.push_back(std::move(req));
     }
     if (queue_full) {
       conn->inflight.fetch_sub(1, std::memory_order_relaxed);
@@ -728,7 +752,7 @@ struct SealServer::Impl {
       RejectBusy(conn, header, Status::Busy("write queue over byte budget"));
       return;
     }
-    queue_cv_.notify_one();
+    work_sem_.release();
   }
 
   // Answer a rejected request with an op-shaped payload carrying `busy`,
@@ -933,50 +957,76 @@ struct SealServer::Impl {
   // -------------------------------------------------------------- workers
 
   void WorkerMain() {
-    std::unique_lock<std::mutex> l(queue_mu_);
+    const uint64_t n = write_queues_.size();
     for (;;) {
-      const int shard = PickWriteShardLocked();
-      if (shard >= 0) {
-        // Become this shard's write leader: drain a group of its queued
-        // writes and commit them as one WriteBatch. Other shards' queues
-        // stay runnable — their leaders commit concurrently.
-        WriteQueue& q = write_queues_[shard];
-        q.leader_active = true;
+      work_sem_.acquire();
+      if (workers_exit_.load(std::memory_order_acquire)) return;
+      // Writes first (the same priority as the old single-lock scheduler):
+      // scan the queues from a rotating start so a busy shard cannot
+      // starve the others.
+      bool led_group = false;
+      const uint64_t start =
+          next_write_shard_.fetch_add(1, std::memory_order_relaxed);
+      for (uint64_t k = 0; k < n && !led_group; k++) {
+        WriteQueue& q = *write_queues_[(start + k) % n];
         std::vector<Request> group;
         size_t group_bytes = 0;
-        while (!q.tasks.empty() &&
-               group.size() < opts_.max_batch_requests &&
-               group_bytes < opts_.max_batch_bytes) {
-          const size_t sz = q.tasks.front().payload.size();
-          group_bytes += sz;
-          q.queued_bytes -= std::min(q.queued_bytes, sz);
-          queued_write_bytes_ -= std::min(queued_write_bytes_, sz);
-          group.push_back(std::move(q.tasks.front()));
-          q.tasks.pop_front();
+        {
+          std::lock_guard<std::mutex> l(q.mu);
+          if (q.tasks.empty() || q.leader_active) continue;
+          // Become this queue's write leader: drain a group of its queued
+          // writes and commit them as one WriteBatch. Other shards' queues
+          // stay runnable — their leaders commit concurrently.
+          q.leader_active = true;
+          while (!q.tasks.empty() &&
+                 group.size() < opts_.max_batch_requests &&
+                 group_bytes < opts_.max_batch_bytes) {
+            const size_t sz = q.tasks.front().payload.size();
+            group_bytes += sz;
+            q.queued_bytes -= std::min(q.queued_bytes, sz);
+            group.push_back(std::move(q.tasks.front()));
+            q.tasks.pop_front();
+          }
+          // Counted while still inside q.mu: the drain predicate must
+          // never observe an empty leaderless queue with this group still
+          // uncounted.
+          executing_.fetch_add(static_cast<int>(group.size()),
+                               std::memory_order_relaxed);
         }
-        executing_ += static_cast<int>(group.size());
-        l.unlock();
+        queued_write_bytes_.fetch_sub(group_bytes, std::memory_order_relaxed);
         RunWriteGroup(group);
-        l.lock();
-        executing_ -= static_cast<int>(group.size());
-        q.leader_active = false;
-        if (AnyWritesQueuedLocked()) queue_cv_.notify_one();
-        drain_cv_.notify_all();
-        continue;
+        bool more;
+        {
+          std::lock_guard<std::mutex> l(q.mu);
+          executing_.fetch_sub(static_cast<int>(group.size()),
+                               std::memory_order_relaxed);
+          q.leader_active = false;
+          more = !q.tasks.empty();
+        }
+        if (more) work_sem_.release();
+        NotifyDrain();
+        led_group = true;
       }
-      if (!read_tasks_.empty()) {
-        Request req = std::move(read_tasks_.front());
-        read_tasks_.pop_front();
-        executing_++;
-        l.unlock();
+      if (led_group) continue;
+      // No runnable write queue: serve a read if one is pending. Otherwise
+      // the token was surplus (its task went to another worker, or a
+      // leader re-released while its queue drained) — drop it and sleep.
+      Request req;
+      bool have_read = false;
+      {
+        std::lock_guard<std::mutex> l(read_mu_);
+        if (!read_tasks_.empty()) {
+          req = std::move(read_tasks_.front());
+          read_tasks_.pop_front();
+          executing_.fetch_add(1, std::memory_order_relaxed);
+          have_read = true;
+        }
+      }
+      if (have_read) {
         RunRead(req);
-        l.lock();
-        executing_--;
-        drain_cv_.notify_all();
-        continue;
+        executing_.fetch_sub(1, std::memory_order_relaxed);
+        NotifyDrain();
       }
-      if (workers_exit_) return;
-      queue_cv_.wait(l);
     }
   }
 
@@ -1294,14 +1344,18 @@ struct SealServer::Impl {
     // 2. Drain: every dispatched request executed and its response
     //    appended to its connection buffer.
     {
-      std::unique_lock<std::mutex> l(queue_mu_);
+      std::unique_lock<std::mutex> l(sched_mu_);
       drain_cv_.wait(l, [this] {
-        return reads_quiesced_ && read_tasks_.empty() &&
-               !AnyWritesQueuedLocked() && executing_ == 0;
+        return reads_quiesced_ && ReadsDrained() && !AnyWritesQueued() &&
+               executing_.load(std::memory_order_relaxed) == 0;
       });
-      workers_exit_ = true;
     }
-    queue_cv_.notify_all();
+    // Everything drained: release one token per worker so each wakes,
+    // observes the exit flag, and returns.
+    workers_exit_.store(true, std::memory_order_release);
+    if (!workers_.empty()) {
+      work_sem_.release(static_cast<std::ptrdiff_t>(workers_.size()));
+    }
     for (auto& w : workers_) w.join();
     workers_.clear();
 

@@ -13,9 +13,12 @@ namespace sealdb::obs {
 class MetricsRegistry;
 }
 
+namespace sealdb::buf {
+class BufferPool;
+}
+
 namespace sealdb {
 
-class Cache;
 class Comparator;
 class FilterPolicy;
 class Snapshot;
@@ -51,12 +54,26 @@ struct Options {
 
   // If non-null, use this filter policy (e.g. bloom) for table reads.
   const FilterPolicy* filter_policy = nullptr;
-  // If non-null, use as block cache.
-  Cache* block_cache = nullptr;
-  // When block_cache is null and this is nonzero, the DB creates (and owns)
-  // a shared LRU block cache of this many bytes for its read path. Zero
-  // disables block caching entirely (cache-sensitivity benches).
+  // If non-null, all SSTable block reads go through this page-based buffer
+  // manager (src/buf/, DESIGN.md §14). Not owned; shared stacks pass one
+  // pool so every shard column caches into the same frames.
+  buf::BufferPool* buffer_pool = nullptr;
+  // When buffer_pool is null and the effective size below is nonzero, the
+  // DB creates (and owns) a private BufferPool of that many bytes. The
+  // sentinel kBufferPoolBytesFromBlockCache (the default) defers to the
+  // deprecated block_cache_bytes knob so existing configs keep their
+  // sizing; zero disables block caching entirely.
+  static constexpr size_t kBufferPoolBytesFromBlockCache = ~size_t{0};
+  size_t buffer_pool_bytes = kBufferPoolBytesFromBlockCache;
+  // Deprecated: pre-buffer-pool name for the read-cache budget. Used only
+  // when buffer_pool_bytes is left at its sentinel default.
   size_t block_cache_bytes = 8 * 1024 * 1024;
+  // The read-cache budget after applying the compat fallback.
+  size_t effective_buffer_pool_bytes() const {
+    return buffer_pool_bytes == kBufferPoolBytesFromBlockCache
+               ? block_cache_bytes
+               : buffer_pool_bytes;
+  }
 
   // -------- LSM shape --------
   int num_levels = 7;
