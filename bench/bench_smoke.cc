@@ -282,6 +282,134 @@ ConfigResult RunConfig(const BenchParams& params, const std::string& label,
   return out;
 }
 
+// Scrub-impact probe (DESIGN.md §15). The online scrubber shares the drive
+// with foreground traffic, so its byte-rate limiter carries a throughput
+// budget: under a YCSB-A-style mix (50/50 zipfian point reads and updates
+// over the loaded keys, the paper's update-heavy workload) the foreground
+// wall throughput must not drop by more than kScrubImpactBudget with the
+// scrubber walking the live extents at its default rate. The probe runs the
+// same 4-shard stack twice — bare, then with config.scrub_enabled — and the
+// bench FAILS (non-zero exit) when the budget is exceeded or the scrubber
+// provably never ran, so `check.sh --bench` gates the regression.
+constexpr double kScrubImpactBudget = 0.15;
+
+struct ScrubImpactResult {
+  PhaseResult bare;
+  PhaseResult scrubbed;
+  uint64_t scrub_bytes = 0;
+  uint64_t scrub_errors = 0;
+  uint64_t scrub_passes = 0;
+  double wall_impact = 0.0;    // 1 - scrubbed/bare foreground wall ops/s
+  double device_impact = 0.0;  // same in device currency (includes scrub IO)
+  bool ok = false;
+};
+
+PhaseResult RunMixedPhase(Stack* stack, const BenchParams& params,
+                          int nthreads) {
+  DB* db = stack->db();
+  const uint64_t entries = params.entries();
+  PhaseResult out;
+  std::vector<std::vector<uint32_t>> lats(nthreads);
+  std::vector<uint64_t> ops(nthreads, 0);
+  const double wall0 = NowSeconds();
+  const double dev0 = stack->device_stats().busy_seconds;
+  auto worker = [&](int t) {
+    Random rnd(501 + t);
+    ycsb::ScrambledZipfianGenerator zipf(entries,
+                                         static_cast<uint32_t>(501 + t));
+    WriteOptions wo;
+    ReadOptions ro;
+    std::string value;
+    const uint64_t n = entries / nthreads +
+                       (static_cast<uint64_t>(t) < entries % nthreads ? 1 : 0);
+    lats[t].reserve(n);
+    for (uint64_t i = 0; i < n; i++) {
+      const uint64_t id = zipf.Next() % entries;
+      const std::string key = MakeKey(id, params.key_bytes);
+      const double t0 = NowSeconds();
+      if (rnd.Uniform(100) < 50) {
+        db->Get(ro, key, &value);
+      } else {
+        db->Put(wo, key, MakeValue(i, params.value_bytes()));
+      }
+      lats[t].push_back(static_cast<uint32_t>((NowSeconds() - t0) * 1e6));
+      ops[t]++;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nthreads; t++) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+  const double drain0 = NowSeconds();
+  db->WaitForIdle();
+  out.drain_seconds = NowSeconds() - drain0;
+  out.wall_seconds = NowSeconds() - wall0;
+  out.device_seconds = stack->device_stats().busy_seconds - dev0;
+  std::vector<uint32_t> lat;
+  for (int t = 0; t < nthreads; t++) {
+    out.ops += ops[t];
+    lat.insert(lat.end(), lats[t].begin(), lats[t].end());
+  }
+  FillPercentiles(lat, &out);
+  return out;
+}
+
+ScrubImpactResult RunScrubImpact(const BenchParams& params) {
+  ScrubImpactResult out;
+  for (int pass = 0; pass < 2; pass++) {
+    const bool scrub = pass == 1;
+    StackConfig config = params.MakeConfig(SystemKind::kSEALDB);
+    config.inline_compactions = false;
+    config.max_background_compactions = 4;
+    config.compaction_readahead = true;
+    config.enable_block_cache = true;
+    config.num_shards = 4;
+    config.scrub_enabled = scrub;
+    std::unique_ptr<Stack> stack;
+    Status s = BuildStack(config, "/bench_scrub", &stack);
+    if (!s.ok()) {
+      std::fprintf(stderr, "BuildStack failed: %s\n", s.ToString().c_str());
+      return out;
+    }
+    // Sequential load so every zipfian draw in the mixed phase hits an
+    // existing key; the scrubber (when on) is already walking during the
+    // load, but only the mixed phase below is the measured window.
+    {
+      WriteOptions wo;
+      for (uint64_t i = 0; i < params.entries(); i++) {
+        const Status ps = stack->db()->Put(wo, MakeKey(i, params.key_bytes),
+                                           MakeValue(i, params.value_bytes()));
+        if (!ps.ok()) {
+          std::fprintf(stderr, "load failed: %s\n", ps.ToString().c_str());
+          return out;
+        }
+      }
+      stack->db()->WaitForIdle();
+    }
+    const PhaseResult r =
+        RunMixedPhase(stack.get(), params, /*nthreads=*/4);
+    if (scrub) {
+      out.scrubbed = r;
+      out.scrub_bytes = stack->scrub()->bytes_scrubbed();
+      out.scrub_errors = stack->scrub()->errors_found();
+      out.scrub_passes = stack->scrub()->passes_completed();
+    } else {
+      out.bare = r;
+    }
+  }
+  if (out.bare.wall_ops_per_second() > 0) {
+    out.wall_impact =
+        1.0 - out.scrubbed.wall_ops_per_second() /
+                  out.bare.wall_ops_per_second();
+  }
+  if (out.bare.device_ops_per_second() > 0) {
+    out.device_impact =
+        1.0 - out.scrubbed.device_ops_per_second() /
+                  out.bare.device_ops_per_second();
+  }
+  out.ok = out.scrub_bytes > 0 && out.wall_impact < kScrubImpactBudget;
+  return out;
+}
+
 void EmitPhase(std::FILE* f, const char* name, const PhaseResult& r,
                bool trailing_comma) {
   std::fprintf(f,
@@ -434,6 +562,17 @@ int Run(int argc, char** argv) {
               static_cast<double>(r->buf_evictions), "");
     }
   }
+  const ScrubImpactResult scrub_impact = RunScrubImpact(params);
+  PrintHeader("scrub impact (YCSB-A mix, 4 shards, scrubber on vs off)");
+  PrintKV("bare wall ops/s", scrub_impact.bare.wall_ops_per_second(), "");
+  PrintKV("scrubbed wall ops/s",
+          scrub_impact.scrubbed.wall_ops_per_second(), "");
+  PrintKV("wall impact", scrub_impact.wall_impact * 100.0, "%");
+  PrintKV("device impact", scrub_impact.device_impact * 100.0, "%");
+  PrintKV("scrub bytes", static_cast<double>(scrub_impact.scrub_bytes), "");
+  PrintKV("scrub passes", static_cast<double>(scrub_impact.scrub_passes), "");
+  PrintKV("budget", kScrubImpactBudget * 100.0, "%");
+
   PrintHeader("comparison (vs single-threaded-seed)");
   PrintKV("executor device ops/s speedup", speedup, "x");
   PrintKV("executor wall ops/s speedup", wall_speedup, "x");
@@ -455,8 +594,21 @@ int Run(int argc, char** argv) {
   EmitConfig(f, parallel, true);
   EmitConfig(f, sharded, true);
   EmitConfig(f, read_heavy, false);
+  std::fprintf(f, "],\n\"scrub_impact\": {\n");
+  EmitPhase(f, "bare", scrub_impact.bare, true);
+  EmitPhase(f, "scrubbed", scrub_impact.scrubbed, true);
   std::fprintf(f,
-               "],\n\"sustained_device_ops_speedup\": %.3f,\n"
+               "    \"scrub_bytes\": %llu,\n    \"scrub_errors\": %llu,\n"
+               "    \"scrub_passes\": %llu,\n"
+               "    \"wall_impact\": %.4f,\n    \"device_impact\": %.4f,\n"
+               "    \"budget\": %.2f,\n    \"within_budget\": %s\n},\n",
+               static_cast<unsigned long long>(scrub_impact.scrub_bytes),
+               static_cast<unsigned long long>(scrub_impact.scrub_errors),
+               static_cast<unsigned long long>(scrub_impact.scrub_passes),
+               scrub_impact.wall_impact, scrub_impact.device_impact,
+               kScrubImpactBudget, scrub_impact.ok ? "true" : "false");
+  std::fprintf(f,
+               "\"sustained_device_ops_speedup\": %.3f,\n"
                "\"sustained_wall_ops_speedup\": %.3f,\n"
                "\"sharded_device_ops_speedup\": %.3f,\n"
                "\"sharded_wall_ops_speedup\": %.3f,\n"
@@ -465,6 +617,15 @@ int Run(int argc, char** argv) {
                sharded_fill_wall_speedup);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
+  if (!scrub_impact.ok) {
+    std::fprintf(stderr,
+                 "scrub impact budget exceeded: wall impact %.1f%% "
+                 "(budget %.0f%%, scrub bytes %llu)\n",
+                 scrub_impact.wall_impact * 100.0,
+                 kScrubImpactBudget * 100.0,
+                 static_cast<unsigned long long>(scrub_impact.scrub_bytes));
+    return 1;
+  }
   return 0;
 }
 

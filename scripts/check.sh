@@ -10,6 +10,7 @@
 # hide behind the allocator.
 #
 # Usage: scripts/check.sh [--fast] [--filter <regex>] [--bench]
+#                         [--crash-sweep]
 #   --fast            sanitizer configs run only the stress-labelled
 #                     tests instead of the full suite (the full
 #                     default-config suite always runs).
@@ -21,6 +22,14 @@
 #   --bench           after the default-config suite, run bench_smoke and
 #                     gate its device-currency throughput against
 #                     bench/baseline_smoke.json (scripts/bench_gate.py).
+#   --crash-sweep     after the default-config suite, run the bounded
+#                     sharded crash-point sweep (deterministic workload,
+#                     fixed seeds baked into the tests; every recovered
+#                     store is checked by the doctor in-process), then
+#                     drive the sealdb_doctor binary end-to-end: a clean
+#                     check over a crash-recovered 4-shard store, and a
+#                     detect -> repair -> re-check cycle over a
+#                     deliberately corrupted checkpoint slot.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,10 +37,12 @@ cd "$(dirname "$0")/.."
 FAST=0
 FILTER=""
 BENCH=0
+CRASH_SWEEP=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
+    --crash-sweep) CRASH_SWEEP=1 ;;
     --filter)
       if [ $# -lt 2 ]; then
         echo "check.sh: --filter requires a regex argument" >&2
@@ -79,6 +90,23 @@ echo "== default configuration =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build "${CTEST_ARGS[@]}" "${STRICT_ARGS[@]}" -j "$JOBS"
+
+if [ "$CRASH_SWEEP" = 1 ]; then
+  echo
+  echo "== sharded crash-point sweep + offline doctor =="
+  # The sweep itself is a ctest target (ShardedCrashPointTest walks a
+  # bounded set of crash points across a 4-shard stack and asserts
+  # per-shard acked=>durable, running the doctor over every recovered
+  # store); re-running it here keeps the leg honest even when a filter
+  # excluded it above.
+  ctest --test-dir build --output-on-failure --no-tests=error \
+    -R 'crash_point_test'
+  # Offline doctor end-to-end, through the shipped binary: clean check
+  # over a crash-recovered store, then prove --repair actually fixes a
+  # corrupted checkpoint slot (exit status carries the verdict).
+  ./build/src/sealdb_doctor --shards 4
+  ./build/src/sealdb_doctor --shards 4 --corrupt-slot --repair
+fi
 
 if [ "$BENCH" = 1 ]; then
   echo

@@ -200,9 +200,11 @@ std::unique_ptr<fs::ExtentAllocator> MakeAllocator(
 }  // namespace
 
 Stack::~Stack() {
-  // DB must close before the stores, the stores before the drive; member
+  // The scrub thread reads through the DB and stores, so it stops first;
+  // then DB closes before the stores, the stores before the drive. Member
   // declaration order already guarantees this (unique_ptrs destroyed in
   // reverse order), the explicit resets just make it obvious.
+  scrub_.reset();
   db_.reset();
   stores_.clear();
 }
@@ -246,6 +248,7 @@ Status Stack::OpenEngines(bool format) {
     if (i == 0) dyn_alloc_ = dyn;
     auto store = std::make_unique<fs::FileStore>(drive_.get(), alloc.get(),
                                                  rg.conv_base, rg.conv_len);
+    store->SetMetrics(options_.metrics_registry, label);
     Status s = format ? store->Format() : store->Recover();
     if (!s.ok()) return s;
 
@@ -273,12 +276,39 @@ Status Stack::OpenEngines(bool format) {
   if (shards == 1) {
     db_ = std::move(dbs[0]);
   } else {
-    db_ = std::make_unique<ShardedDb>(std::move(dbs), options_.comparator);
+    db_ = std::make_unique<ShardedDb>(std::move(dbs), options_.comparator,
+                                      options_.metrics_registry);
+  }
+
+  if (config_.scrub_enabled) {
+    std::vector<fs::ScrubScheduler::Target> targets;
+    for (int i = 0; i < shards; i++) {
+      fs::ScrubScheduler::Target t;
+      t.store = stores_[i].get();
+      // Quarantine dispatch goes to the column whose table numbers the
+      // damaged file names decode to.
+      t.db = shards > 1 ? sharded_db()->shard(i) : db_.get();
+      t.shard = i;
+      t.label = shards > 1 ? std::to_string(i) : "";
+      targets.push_back(std::move(t));
+    }
+    fs::ScrubOptions sopt;
+    sopt.rate_bytes_per_sec = config_.scrub_rate_bytes_per_sec;
+    sopt.degrade_bad_blocks = config_.scrub_degrade_bad_blocks;
+    scrub_ = std::make_unique<fs::ScrubScheduler>(
+        std::move(targets), sopt, options_.metrics_registry,
+        [this](int shard, const std::string& reason) {
+          // Single-engine stacks have no narrower failure domain than the
+          // whole DB; the quarantine plumbing alone protects them.
+          if (ShardedDb* sdb = sharded_db()) sdb->DegradeShard(shard, reason);
+        });
+    scrub_->Start();
   }
   return Status::OK();
 }
 
 Status Stack::Reopen(int num_shards) {
+  scrub_.reset();  // joins the scrub thread before its stores/DB die
   db_.reset();
   stores_.clear();
   allocators_.clear();

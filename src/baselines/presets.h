@@ -19,7 +19,9 @@
 #include "core/dynamic_band_allocator.h"
 #include "fs/ext4_allocator.h"
 #include "fs/file_store.h"
+#include "fs/scrub_scheduler.h"
 #include "lsm/db.h"
+#include "lsm/sharded_db.h"
 #include "obs/metrics.h"
 #include "smr/drive.h"
 #include "smr/fault_injection_drive.h"
@@ -90,6 +92,14 @@ struct StackConfig {
   int level0_slowdown_writes_trigger = 0;
   int level0_stop_writes_trigger = 0;
 
+  // Online media scrub (fs/scrub_scheduler.h): a background thread
+  // re-reads live file data under a byte-rate budget, quarantining bad
+  // blocks, invalidating damaged tables' cached pages, and degrading a
+  // shard whose quarantine count crosses scrub_degrade_bad_blocks.
+  bool scrub_enabled = false;
+  uint64_t scrub_rate_bytes_per_sec = 8ull << 20;
+  uint64_t scrub_degrade_bad_blocks = 16;
+
   // Hash-partition the keyspace over this many independent LSM shards,
   // each with its own FileStore/allocator over a disjoint drive region
   // (core/shard_layout.h). 1 = the classic single engine (seed parity).
@@ -111,6 +121,12 @@ class Stack {
   Stack& operator=(const Stack&) = delete;
 
   DB* db() { return db_.get(); }
+  // The typed composite view — non-null only when the stack was built with
+  // num_shards > 1. Scrub escalation and fault tests use it to reach the
+  // per-shard health latch (DegradeShard / IsShardDegraded).
+  ShardedDb* sharded_db() {
+    return num_shards() > 1 ? static_cast<ShardedDb*>(db_.get()) : nullptr;
+  }
   // Shard 0's store with a sharded stack (device_stats and test plumbing
   // still work: the drive — and therefore its stats — is shared).
   fs::FileStore* store() { return stores_.empty() ? nullptr
@@ -128,6 +144,9 @@ class Stack {
   // was built with enable_block_cache = false. Survives Reopen() so a
   // restart keeps its hot pages (stale frames are purged per owner).
   buf::BufferPool* buffer_pool() { return buffer_pool_.get(); }
+  // Non-null when the stack was built with config.scrub_enabled; already
+  // started. Tests drive a full synchronous pass via scrub()->RunFullPass().
+  fs::ScrubScheduler* scrub() { return scrub_.get(); }
   const Options& options() const { return options_; }
   const StackConfig& config() const { return config_; }
 
@@ -189,6 +208,9 @@ class Stack {
   core::DynamicBandAllocator* dyn_alloc_ = nullptr;  // shard 0's
   std::vector<std::unique_ptr<fs::FileStore>> stores_;
   std::unique_ptr<DB> db_;
+  // Declared last: the scrub thread reads through db_ and stores_, so it
+  // must stop (destructor joins) before either dies.
+  std::unique_ptr<fs::ScrubScheduler> scrub_;
 };
 
 // Build a complete stack with a fresh (formatted) store and an open DB.

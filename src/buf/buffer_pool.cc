@@ -1,6 +1,7 @@
 #include "buf/buffer_pool.h"
 
 #include <cstdlib>
+#include <set>
 
 namespace sealdb::buf {
 
@@ -43,6 +44,18 @@ struct BufferPool::Client {
   obs::Counter* pin[3] = {};
   obs::Counter* evict_clock[3] = {};
   obs::Counter* evict_drop[3] = {};
+  // Quarantined files whose pages must not re-enter the pool. ban_count
+  // mirrors banned.size() so the Insert hot path can skip the mutex while
+  // the set is empty (the overwhelmingly common case).
+  std::atomic<size_t> ban_count{0};
+  std::mutex ban_mu;
+  std::set<uint64_t> banned;  // guarded by ban_mu
+
+  bool IsBanned(uint64_t file_number) {
+    if (ban_count.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> l(ban_mu);
+    return banned.count(file_number) != 0;
+  }
 };
 
 BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
@@ -332,6 +345,21 @@ void BufferPool::Insert(const BufferClient& client, uint64_t file_number,
                    std::memory_order_relaxed);
   {
     std::unique_lock<std::mutex> l(p.mu);
+    // Quarantine ban check, under the same mutex EvictFile's purge takes:
+    // any insert that links before the purge visits this partition is
+    // removed by the purge, and any insert serialized after the ban sees
+    // it here — so once EvictFile(ban) returns, no page of the banned
+    // file can (re-)enter the table. The caller still gets its block born
+    // doomed: pinned and readable through the ref, freed by the last
+    // unpin, never linked, never served to anyone else.
+    auto* bc = static_cast<Client*>(client.stats);
+    if (bc != nullptr && bc->IsBanned(file_number)) {
+      l.unlock();
+      usage_.fetch_add(charge, std::memory_order_relaxed);
+      f->state.store(kMappedBit | kDoomedBit | 1, std::memory_order_release);
+      *out = PageRef(this, idx, value);
+      return;
+    }
     // Lost an insert race? The resident copy wins.
     uint32_t cur = buckets_[b].load(std::memory_order_relaxed);
     while (cur != kInvalidFrame) {
@@ -439,10 +467,29 @@ bool BufferPool::TryReclaim(uint32_t idx) {
   return true;
 }
 
-void BufferPool::EvictFile(const BufferClient& client,
-                           uint64_t file_number) {
+void BufferPool::EvictFile(const BufferClient& client, uint64_t file_number,
+                           bool ban) {
   if (client.pool != this) return;
+  if (ban) {
+    // Ban strictly before the purge: once PurgeMatching returns there must
+    // be no window in which a racing Insert can link a page of this file.
+    auto* c = static_cast<Client*>(client.stats);
+    if (c != nullptr) {
+      std::lock_guard<std::mutex> l(c->ban_mu);
+      c->banned.insert(file_number);
+      c->ban_count.store(c->banned.size(), std::memory_order_release);
+    }
+  }
   PurgeMatching(client.owner, file_number, /*match_file=*/true);
+}
+
+void BufferPool::UnbanFile(const BufferClient& client, uint64_t file_number) {
+  if (client.pool != this) return;
+  auto* c = static_cast<Client*>(client.stats);
+  if (c == nullptr) return;
+  std::lock_guard<std::mutex> l(c->ban_mu);
+  c->banned.erase(file_number);
+  c->ban_count.store(c->banned.size(), std::memory_order_release);
 }
 
 void BufferPool::PurgeMatching(uint64_t owner, uint64_t file_number,

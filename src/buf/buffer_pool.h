@@ -130,7 +130,20 @@ class BufferPool {
 
   // Drop every page of (client.owner, file_number): dead SSTable after
   // compaction. Pinned pages are doomed and freed by the last unpin.
-  void EvictFile(const BufferClient& client, uint64_t file_number);
+  //
+  // `ban` additionally bans the file for this client: a later Insert of
+  // (owner, file_number) gets its page back born doomed — pinned and
+  // usable through the returned ref, freed by the last unpin, but never
+  // linked into the page table. This closes the quarantine re-admission
+  // race: a reader that fetched the block before the file was quarantined
+  // (or that loses the duplicate-insert race after the purge) cannot put
+  // pages of a quarantined file back into the pool. Compaction-dead files
+  // don't ban (their numbers are never read again), so the set stays
+  // small.
+  void EvictFile(const BufferClient& client, uint64_t file_number,
+                 bool ban = false);
+  // Lift a ban (quarantine cleared after a successful repair/rewrite).
+  void UnbanFile(const BufferClient& client, uint64_t file_number);
 
   // Unpin via a token from PageRef::ReleaseToken(). `pool` is a
   // BufferPool*; signature matches Iterator::RegisterCleanup.

@@ -235,16 +235,36 @@ void DynamicBandAllocator::ReleaseRange(uint64_t offset, uint64_t length) {
   InsertFreeRegion(offset, length);
 }
 
-void DynamicBandAllocator::Free(const fs::Extent& e) {
+Status DynamicBandAllocator::Free(const fs::Extent& e) {
   if (!finalized_) FinalizeReserves();
+  // Validate before touching any state: allocated extents always lie below
+  // the frontier, and a release overlapping a region already on the free
+  // list is a double free. Both come back typed so the FileStore can count
+  // them instead of the old assert corrupting the band accounting.
+  const uint64_t total = e.length + e.guard;
+  if (total == 0) return Status::OK();
+  if (e.offset < opt_.base || e.offset + total > frontier_) {
+    return Status::InvalidArgument("free outside allocated space");
+  }
+  auto next = by_offset_.lower_bound(e.offset);
+  if (next != by_offset_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.length > e.offset) {
+      return Status::InvalidArgument("double free: range already free");
+    }
+  }
+  if (next != by_offset_.end() && e.offset + total > next->first) {
+    return Status::InvalidArgument("double free: range already free");
+  }
   if (DynDebug())
     fprintf(stderr, "[alloc] free    [%llu, +%llu, g%llu]\n",
             (unsigned long long)e.offset, (unsigned long long)e.length,
             (unsigned long long)e.guard);
   allocated_ -= e.length;
   guard_attached_ -= e.guard;
-  ReleaseRange(e.offset, e.length + e.guard);
+  ReleaseRange(e.offset, total);
   SyncMetrics();
+  return Status::OK();
 }
 
 void DynamicBandAllocator::Shrink(fs::Extent* e, uint64_t new_length) {

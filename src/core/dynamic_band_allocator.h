@@ -63,7 +63,7 @@ class DynamicBandAllocator final : public fs::ExtentAllocator {
   // concurrent compactions, a later allocation can land directly behind it
   // while its tail tracks are still being written.
   Status AllocateNear(uint64_t size, uint64_t goal, fs::Extent* out) override;
-  void Free(const fs::Extent& e) override;
+  Status Free(const fs::Extent& e) override;
   void Shrink(fs::Extent* e, uint64_t new_length) override;
   Status Reserve(const fs::Extent& e) override;
   uint64_t allocated_bytes() const override { return allocated_; }

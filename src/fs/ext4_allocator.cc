@@ -69,18 +69,20 @@ class Ext4Allocator final : public ExtentAllocator {
     return Allocate(size, out);
   }
 
-  void Free(const Extent& e) override {
-    free_.Free(e.offset, e.length + e.guard);
-    allocated_ -= e.length;
+  Status Free(const Extent& e) override {
+    Status s = free_.Free(e.offset, e.length + e.guard);
+    if (s.ok()) allocated_ -= e.length;
+    return s;
   }
 
   void Shrink(Extent* e, uint64_t new_length) override {
     new_length = RoundUp(new_length, align_);
     assert(new_length <= e->length);
     if (new_length == e->length) return;
-    free_.Free(e->offset + new_length, e->length - new_length);
-    allocated_ -= e->length - new_length;
-    e->length = new_length;
+    if (free_.Free(e->offset + new_length, e->length - new_length).ok()) {
+      allocated_ -= e->length - new_length;
+      e->length = new_length;
+    }
   }
 
   Status Reserve(const Extent& e) override {
@@ -123,9 +125,10 @@ class BandAlignedAllocator final : public ExtentAllocator {
     return Status::OK();
   }
 
-  void Free(const Extent& e) override {
-    free_.Free(e.offset, e.length + e.guard);
-    allocated_ -= e.length;
+  Status Free(const Extent& e) override {
+    Status s = free_.Free(e.offset, e.length + e.guard);
+    if (s.ok()) allocated_ -= e.length;
+    return s;
   }
 
   void Shrink(Extent* e, uint64_t new_length) override {
@@ -133,9 +136,10 @@ class BandAlignedAllocator final : public ExtentAllocator {
     const uint64_t keep = RoundUp(new_length, band_bytes_);
     assert(keep <= e->length);
     if (keep == e->length) return;
-    free_.Free(e->offset + keep, e->length - keep);
-    allocated_ -= e->length - keep;
-    e->length = keep;
+    if (free_.Free(e->offset + keep, e->length - keep).ok()) {
+      allocated_ -= e->length - keep;
+      e->length = keep;
+    }
   }
 
   Status Reserve(const Extent& e) override {

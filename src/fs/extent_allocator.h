@@ -38,8 +38,11 @@ class ExtentAllocator {
     return Allocate(size, out);
   }
 
-  // Return an extent (including its guard) to the allocator.
-  virtual void Free(const Extent& e) = 0;
+  // Return an extent (including its guard) to the allocator. A release the
+  // allocator can prove wrong — outside its managed range, or overlapping
+  // space that is already free (a double free) — returns InvalidArgument
+  // with the allocator state untouched; callers count it rather than crash.
+  virtual Status Free(const Extent& e) = 0;
 
   // Give back the unused tail of `*e`, shrinking it to `new_length`
   // (rounded up to the allocator's granularity). Used when a set turns out

@@ -13,10 +13,6 @@ namespace sealdb::fs {
 
 namespace {
 
-constexpr uint32_t kJournalMagic = 0x4a524e4c;  // "JRNL"
-constexpr uint32_t kCkptMagic = 0x434b5054;     // "CKPT"
-constexpr size_t kRecordHeader = 4 + 8 + 4 + 4;  // magic, seq, len, crc
-
 // Adaptive readahead: sequential access streams this much per media read.
 constexpr uint64_t kReadaheadBytes = 256 * 1024;
 // Writable files push data to the media in chunks of this size.
@@ -86,7 +82,7 @@ class StoreWritableFile final : public WritableFile {
     if (it == store_->files_.end()) {
       return Status::IOError("file removed while open", name_);
     }
-    return store_->PersistFileMeta(FileStore::kUpdateFile, name_, it->second);
+    return store_->PersistFileMeta(kUpdateFile, name_, it->second);
   }
 
   Status Close() override {
@@ -112,7 +108,7 @@ class StoreWritableFile final : public WritableFile {
       buffer_.clear();
       it->second.size = logical;
       store_->ShrinkToFit(&it->second);
-      return store_->PersistFileMeta(FileStore::kUpdateFile, name_,
+      return store_->PersistFileMeta(kUpdateFile, name_,
                                      it->second);
     }
     std::lock_guard<std::mutex> l(store_->mu_);
@@ -122,7 +118,7 @@ class StoreWritableFile final : public WritableFile {
     }
     it->second.size = logical;
     store_->ShrinkToFit(&it->second);
-    return store_->PersistFileMeta(FileStore::kUpdateFile, name_, it->second);
+    return store_->PersistFileMeta(kUpdateFile, name_, it->second);
   }
 
  private:
@@ -875,6 +871,87 @@ Status FileStore::Scrub(ScrubReport* report) {
   return Status::OK();
 }
 
+Status FileStore::ScrubStep(ScrubCursor* cursor, uint64_t max_bytes,
+                            ScrubStepResult* out) {
+  std::lock_guard<std::mutex> l(mu_);
+  *out = ScrubStepResult();
+  if (max_bytes == 0) return Status::OK();
+  const uint64_t block = drive_->geometry().block_bytes;
+  std::vector<char> buf(kReadaheadBytes);
+
+  auto it = files_.lower_bound(cursor->file);
+  if (it == files_.end() || it->first != cursor->file) {
+    // The cursor's file was removed (or this is a fresh pass): its stored
+    // offset belongs to a different file, start its successor from 0.
+    cursor->offset = 0;
+  }
+  while (out->bytes_scanned < max_bytes) {
+    if (it == files_.end()) {
+      *cursor = ScrubCursor();
+      out->wrapped = true;
+      return Status::OK();
+    }
+    const FileMeta& meta = it->second;
+    const uint64_t scan_end = RoundUp(meta.size, block);
+    bool damaged = false;
+    // Logical walk from cursor->offset through the extent chain, mirroring
+    // the offline Scrub: over-allocated tail space beyond the file size
+    // never held data and is not scanned.
+    uint64_t extent_begin = 0;
+    for (const Extent& e : meta.extents) {
+      const uint64_t extent_end = std::min(extent_begin + e.length, scan_end);
+      while (cursor->offset < extent_end &&
+             out->bytes_scanned < max_bytes) {
+        if (cursor->offset < extent_begin) break;  // shouldn't happen
+        const uint64_t in_extent = cursor->offset - extent_begin;
+        const uint64_t m =
+            std::min({static_cast<uint64_t>(buf.size()),
+                      extent_end - cursor->offset,
+                      max_bytes - out->bytes_scanned});
+        const uint64_t phys = e.offset + in_extent;
+        // Diff the quarantine set over this physical range around the read:
+        // new entries are blocks this step condemned, vanished entries are
+        // blocks whose probe (or an interleaved rewrite) came back clean.
+        const uint64_t before = CountBadBlocks(phys, m);
+        Status s = DriveRead(phys, m, buf.data());
+        const uint64_t after = CountBadBlocks(phys, m);
+        if (after > before) out->bad_blocks += after - before;
+        if (before > after) out->repaired_blocks += before - after;
+        if (!s.ok()) damaged = true;
+        out->bytes_scanned += m;
+        cursor->offset += m;
+      }
+      extent_begin += e.length;
+      if (extent_begin >= scan_end || out->bytes_scanned >= max_bytes) break;
+    }
+    if (damaged) out->damaged_files.push_back(it->first);
+    if (cursor->offset >= scan_end) {
+      ++it;
+      cursor->file = (it == files_.end()) ? std::string() : it->first;
+      cursor->offset = 0;
+      if (it == files_.end()) {
+        *cursor = ScrubCursor();
+        out->wrapped = true;
+        return Status::OK();
+      }
+    } else {
+      cursor->file = it->first;  // budget ran out mid-file
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t FileStore::CountBadBlocks(uint64_t offset, uint64_t n) const {
+  if (bad_blocks_.empty() || n == 0) return 0;
+  const uint64_t block = drive_->geometry().block_bytes;
+  uint64_t count = 0;
+  for (auto it = bad_blocks_.lower_bound(RoundDown(offset, block));
+       it != bad_blocks_.end() && *it < offset + n; ++it) {
+    count++;
+  }
+  return count;
+}
+
 Status FileStore::ReadExtents(const FileMeta& meta, uint64_t offset, size_t n,
                               char* scratch) {
   uint64_t remaining = n;
@@ -998,10 +1075,14 @@ void FileStore::ShrinkToFit(FileMeta* meta) {
       if (e.end_with_guard() <= drive_->geometry().conventional_bytes) {
         const uint64_t keep_rounded = RoundUp(keep_len, block);
         if (keep_rounded < e.length) {
-          conv_files_free_.Free(e.offset + keep_rounded,
-                                e.length - keep_rounded + e.guard);
-          e.length = keep_rounded;
-          e.guard = 0;
+          Status fs = conv_files_free_.Free(e.offset + keep_rounded,
+                                            e.length - keep_rounded + e.guard);
+          if (fs.ok()) {
+            e.length = keep_rounded;
+            e.guard = 0;
+          } else {
+            CountFreeError(fs);
+          }
         }
       } else {
         allocator_->Shrink(&e, keep_len);
@@ -1061,10 +1142,44 @@ Status FileStore::WriteAt(FileMeta* meta, uint64_t file_offset,
 
 void FileStore::FreeExtent(const Extent& e) {
   if (e.end_with_guard() <= drive_->geometry().conventional_bytes) {
-    conv_files_free_.Free(e.offset, e.length + e.guard);
+    Status s = conv_files_free_.Free(e.offset, e.length + e.guard);
+    if (!s.ok()) CountFreeError(s);
   } else {
-    allocator_->Free(e);
+    FreeAllocatorExtent(e);
   }
+}
+
+void FileStore::FreeAllocatorExtent(const Extent& e) {
+  Status s = allocator_->Free(e);
+  if (!s.ok()) CountFreeError(s);
+}
+
+void FileStore::CountFreeError(const Status& s) {
+  (void)s;
+  free_errors_++;
+  if (c_free_errors_ != nullptr) c_free_errors_->Inc();
+}
+
+void FileStore::SetMetrics(
+    const std::shared_ptr<obs::MetricsRegistry>& registry,
+    const std::string& shard_label) {
+  if (registry == nullptr) return;
+  obs::Labels labels;
+  if (!shard_label.empty()) labels.push_back({"shard", shard_label});
+  std::lock_guard<std::mutex> l(mu_);
+  c_free_errors_ = registry->RegisterCounter(
+      "sealdb_fs_free_errors_total",
+      "extent releases the allocator or free map refused as double-free "
+      "or out-of-range",
+      labels);
+  if (c_free_errors_ != nullptr && free_errors_ > 0) {
+    c_free_errors_->Add(free_errors_);
+  }
+}
+
+uint64_t FileStore::free_errors() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return free_errors_;
 }
 
 void FileStore::DropFileData(const FileMeta& meta) {
@@ -1091,7 +1206,7 @@ Status FileStore::NewWritableFile(const std::string& name, uint64_t size_hint,
       } else {
         auto rit = regions_.find(it->second.region_id);
         if (rit != regions_.end() && --rit->second.live_files == 0) {
-          allocator_->Free(rit->second.extent);
+          FreeAllocatorExtent(rit->second.extent);
           regions_.erase(rit);
         }
       }
@@ -1172,7 +1287,7 @@ Status FileStore::RemoveFile(const std::string& name) {
     // its last SSTable dies (paper Sec. III-C "Delete").
     auto rit = regions_.find(it->second.region_id);
     if (rit != regions_.end() && --rit->second.live_files == 0) {
-      allocator_->Free(rit->second.extent);
+      FreeAllocatorExtent(rit->second.extent);
       regions_.erase(rit);
     }
   }
@@ -1287,7 +1402,7 @@ Status FileStore::SealRegion(uint64_t region_id) {
   RegionMeta& region = rit->second;
   if (region.live_files == 0) {
     // Nothing was written into the region; drop it entirely.
-    allocator_->Free(region.extent);
+    FreeAllocatorExtent(region.extent);
     regions_.erase(rit);
     return Status::OK();
   }

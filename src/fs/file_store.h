@@ -25,11 +25,30 @@
 #include "fs/extent.h"
 #include "fs/extent_allocator.h"
 #include "fs/free_map.h"
+#include "obs/metrics.h"
 #include "smr/drive.h"
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace sealdb::fs {
+
+// On-media metadata journal record framing (checkpoint slots and the
+// append log share it): magic, seq, payload length, masked payload crc.
+// Public so the offline consistency checker (fs/doctor.h) can parse the
+// journal independently of the FileStore implementation.
+inline constexpr uint32_t kJournalMagic = 0x4a524e4c;  // "JRNL"
+inline constexpr uint32_t kCkptMagic = 0x434b5054;     // "CKPT"
+inline constexpr size_t kRecordHeader = 4 + 8 + 4 + 4;
+
+// Journal record payload tags (first payload byte).
+enum JournalRecordTag : uint8_t {
+  kCreateFile = 1,
+  kUpdateFile = 2,
+  kRemoveFileTag = 3,
+  kRenameTag = 4,
+  kCreateRegion = 5,
+  kSealRegionTag = 6,
+};
 
 class SequentialFile {
  public:
@@ -65,6 +84,23 @@ struct ScrubReport {
   uint64_t bytes_scanned = 0;
   uint64_t bad_blocks = 0;                 // unreadable blocks found
   std::vector<std::string> damaged_files;  // sorted by name
+};
+
+// Cursor for the incremental online scrub (ScrubStep): resumes at the
+// first live file whose name is >= `file`, at logical byte `offset`. A
+// default-constructed cursor starts a fresh pass.
+struct ScrubCursor {
+  std::string file;
+  uint64_t offset = 0;
+};
+
+// What one bounded scrub step saw.
+struct ScrubStepResult {
+  uint64_t bytes_scanned = 0;
+  uint64_t bad_blocks = 0;       // blocks newly quarantined by this step
+  uint64_t repaired_blocks = 0;  // quarantined blocks that read clean again
+  std::vector<std::string> damaged_files;  // files with read errors this step
+  bool wrapped = false;  // the namespace end was reached; cursor reset
 };
 
 class FileStore {
@@ -125,11 +161,33 @@ class FileStore {
   // Physical extent currently covered by the region.
   Status GetRegionExtent(uint64_t region_id, Extent* extent);
 
+  // ---- observability ----
+  // Publish this store's counters into `registry` as sealdb_fs_* series;
+  // a non-empty `shard_label` stamps {shard=<label>} on each (the sharded
+  // stack's per-column stores share one registry).
+  void SetMetrics(const std::shared_ptr<obs::MetricsRegistry>& registry,
+                  const std::string& shard_label);
+  // Bad extent releases (double free / out-of-range) the allocator or the
+  // conventional free map caught and refused. Also exported as
+  // sealdb_fs_free_errors_total when SetMetrics was called.
+  uint64_t free_errors() const;
+
   // ---- health / fault handling ----
   // Walk every live file's extents verifying readability. Damaged files are
   // reported (and their unreadable blocks quarantined); the walk itself
   // always completes, so the Status is non-OK only for internal errors.
+  // Holds the store mutex for the whole walk — offline use only.
   Status Scrub(ScrubReport* report);
+
+  // Online variant: verify up to `max_bytes` of live file data starting at
+  // *cursor, then release the mutex; foreground I/O interleaves between
+  // steps. The step ends early (wrapped = true, cursor reset) when the end
+  // of the namespace is reached, so one full pass = steps until wrapped.
+  // Blocks that fail their bounded retries are quarantined exactly like
+  // the foreground read path; a quarantined block that reads clean again
+  // (probe after a rewrite) counts as repaired.
+  Status ScrubStep(ScrubCursor* cursor, uint64_t max_bytes,
+                   ScrubStepResult* out);
 
   // Blocks (byte offsets) whose reads kept failing after bounded retries.
   // Reads overlapping a quarantined block fail fast with a single probe;
@@ -174,15 +232,7 @@ class FileStore {
     bool sealed = false;
   };
 
-  // Journal record tags.
-  enum RecordTag : uint8_t {
-    kCreateFile = 1,
-    kUpdateFile = 2,
-    kRemoveFileTag = 3,
-    kRenameTag = 4,
-    kCreateRegion = 5,
-    kSealRegionTag = 6,
-  };
+  using RecordTag = JournalRecordTag;
 
   // Data-path helpers (mutex held by caller).
   // Drive read with bounded retry: transient errors are retried, and a
@@ -193,6 +243,8 @@ class FileStore {
   Status DriveWrite(uint64_t offset, const Slice& data);
   Status ReadExtents(const FileMeta& meta, uint64_t offset, size_t n,
                      char* scratch);
+  // Quarantined blocks overlapping [offset, offset+n) (mutex held).
+  uint64_t CountBadBlocks(uint64_t offset, uint64_t n) const;
   Status WriteAt(FileMeta* meta, uint64_t file_offset, const Slice& data,
                  uint64_t size_hint);
   Status GrowFile(const std::string& name, FileMeta* meta, uint64_t min_bytes,
@@ -215,6 +267,9 @@ class FileStore {
 
   // Free an extent back to whichever pool owns it.
   void FreeExtent(const Extent& e);
+  // allocator_->Free with the refused-release accounting (mutex held).
+  void FreeAllocatorExtent(const Extent& e);
+  void CountFreeError(const Status& s);
 
   // Geometry of the metadata area. The conventional region is split in
   // half: the journal (checkpoint slots + log) in the front, a pool for
@@ -239,6 +294,10 @@ class FileStore {
   std::set<uint64_t> bad_blocks_;  // quarantined block byte offsets
   FreeMap conv_files_free_;  // appendable-file pool in the conventional region
   uint64_t next_region_id_ = 1;
+
+  // Observability (null until SetMetrics).
+  obs::Counter* c_free_errors_ = nullptr;
+  uint64_t free_errors_ = 0;
 
   // Journal state.
   uint64_t journal_seq_ = 0;

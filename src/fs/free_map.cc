@@ -7,6 +7,8 @@ namespace sealdb::fs {
 void FreeMap::Reset(uint64_t base, uint64_t size) {
   free_.clear();
   free_bytes_ = 0;
+  base_ = base;
+  limit_ = base + size;
   if (size > 0) {
     free_[base] = size;
     free_bytes_ = size;
@@ -43,14 +45,27 @@ bool FreeMap::Allocate(uint64_t size, uint64_t* offset) {
   return AllocateInRange(size, 0, UINT64_MAX, offset);
 }
 
-void FreeMap::Free(uint64_t offset, uint64_t size) {
-  if (size == 0) return;
-  free_bytes_ += size;  // caller contract: the range was in use
+Status FreeMap::Free(uint64_t offset, uint64_t size) {
+  if (size == 0) return Status::OK();
+  // Validate before mutating anything: a bad release must not leave the
+  // map half-updated.
+  if (offset < base_ || offset >= limit_ || size > limit_ - offset) {
+    return Status::InvalidArgument("free outside managed range");
+  }
   auto next = free_.lower_bound(offset);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > offset) {
+      return Status::InvalidArgument("double free: range already free");
+    }
+  }
+  if (next != free_.end() && offset + size > next->first) {
+    return Status::InvalidArgument("double free: range already free");
+  }
+  free_bytes_ += size;
   // Coalesce with predecessor.
   if (next != free_.begin()) {
     auto prev = std::prev(next);
-    assert(prev->first + prev->second <= offset);
     if (prev->first + prev->second == offset) {
       offset = prev->first;
       size += prev->second;
@@ -58,14 +73,12 @@ void FreeMap::Free(uint64_t offset, uint64_t size) {
     }
   }
   // Coalesce with successor.
-  if (next != free_.end()) {
-    assert(offset + size <= next->first);
-    if (offset + size == next->first) {
-      size += next->second;
-      free_.erase(next);
-    }
+  if (next != free_.end() && offset + size == next->first) {
+    size += next->second;
+    free_.erase(next);
   }
   free_[offset] = size;
+  return Status::OK();
 }
 
 Status FreeMap::Carve(uint64_t offset, uint64_t size) {

@@ -25,7 +25,12 @@ class FreeMap {
   bool Allocate(uint64_t size, uint64_t* offset);
 
   // Return [offset, offset+size) to the free pool, coalescing neighbours.
-  void Free(uint64_t offset, uint64_t size);
+  // A release outside the managed range or overlapping an already-free
+  // extent (a double free) returns InvalidArgument and leaves the map —
+  // including free_bytes() — untouched, so a buggy or corrupted caller
+  // degrades into a typed, countable error instead of corrupting the
+  // accounting (or dying on an assert).
+  Status Free(uint64_t offset, uint64_t size);
 
   // Remove [offset, offset+size) from the free pool (recovery).
   // Fails if any part is not currently free.
@@ -36,6 +41,9 @@ class FreeMap {
  private:
   std::map<uint64_t, uint64_t> free_;  // offset -> length
   uint64_t free_bytes_ = 0;
+  // Managed range from the last Reset, bounding every legal Free.
+  uint64_t base_ = 0;
+  uint64_t limit_ = 0;
 };
 
 }  // namespace sealdb::fs

@@ -302,6 +302,14 @@ void DBImpl::RemoveObsoleteFiles() {
   removing_obsolete_files_ = false;
 }
 
+void DBImpl::QuarantineFile(uint64_t file_number) {
+  // Scrub found the table's media damaged. Unlike the dead-file Evict
+  // above, the file is still live in the version set, so its pages are
+  // banned from re-admission: a reader that fetched a block just before
+  // the quarantine must not re-populate the shared pool with it.
+  table_cache_->Evict(file_number, /*ban=*/true);
+}
+
 Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
   // The FileStore itself has already been recovered by the caller.
   if (!store_->FileExists(CurrentFileName(dbname_))) {

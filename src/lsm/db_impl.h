@@ -66,6 +66,8 @@ class DBImpl : public DB {
     return stall_level_.load(std::memory_order_relaxed);
   }
 
+  void QuarantineFile(uint64_t file_number) override;
+
   DbStats GetDbStats() override;
   std::vector<LiveFileMeta> GetLiveFilesMetadata() override;
   void SetRecordCompactionEvents(bool enable) override;

@@ -38,8 +38,25 @@ struct ShardSplitter : public WriteBatch::Handler {
 }  // namespace
 
 ShardedDb::ShardedDb(std::vector<std::unique_ptr<DB>> shards,
-                     const Comparator* comparator)
-    : shards_(std::move(shards)), comparator_(comparator) {}
+                     const Comparator* comparator,
+                     std::shared_ptr<obs::MetricsRegistry> registry)
+    : shards_(std::move(shards)),
+      comparator_(comparator),
+      registry_(std::move(registry)) {
+  health_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); i++) {
+    auto h = std::make_unique<ShardHealth>();
+    if (registry_ != nullptr) {
+      h->gauge = registry_->RegisterGauge(
+          "sealdb_shard_degraded",
+          "1 when the shard has latched a persistent fault and returns "
+          "kShardDegraded; other shards keep serving",
+          {{"shard", std::to_string(i)}});
+      h->gauge->Set(0);
+    }
+    health_.push_back(std::move(h));
+  }
+}
 
 ShardedDb::~ShardedDb() = default;
 
@@ -47,41 +64,107 @@ int ShardedDb::ShardOf(const Slice& user_key) const {
   return core::ShardLayout::ShardOfKey(user_key, num_shards());
 }
 
+void ShardedDb::DegradeShard(int shard, const std::string& reason) {
+  ShardHealth* h = health_[shard].get();
+  {
+    std::lock_guard<std::mutex> l(h->mu);
+    if (h->reason.empty()) h->reason = reason.empty() ? "forced" : reason;
+  }
+  bool was = false;
+  if (h->degraded.compare_exchange_strong(was, true,
+                                          std::memory_order_acq_rel)) {
+    if (h->gauge != nullptr) h->gauge->Set(1);
+  }
+}
+
+int ShardedDb::DegradedShardCount() const {
+  int n = 0;
+  for (int i = 0; i < num_shards(); i++) n += IsShardDegraded(i) ? 1 : 0;
+  return n;
+}
+
+Status ShardedDb::DegradedStatus(int shard) {
+  ShardHealth* h = health_[shard].get();
+  std::lock_guard<std::mutex> l(h->mu);
+  return Status::ShardDegraded("shard " + std::to_string(shard), h->reason);
+}
+
+Status ShardedDb::MapShardStatus(int shard, Status s) {
+  if (s.ok() || s.IsNotFound()) return s;
+  ShardHealth* h = health_[shard].get();
+  if (!h->degraded.load(std::memory_order_acquire)) {
+    // The op failed: ask the engine whether it latched a background error
+    // (the property renders the literal "OK" while healthy). Only a latched
+    // engine fault degrades the shard — a one-off read error does not.
+    std::string bg;
+    if (shards_[shard]->GetProperty("sealdb.background-error", &bg) &&
+        bg != "OK") {
+      DegradeShard(shard, bg);
+    }
+  }
+  if (h->degraded.load(std::memory_order_acquire) &&
+      (s.IsIOError() || s.IsCorruption() || s.IsNoSpace())) {
+    return DegradedStatus(shard);
+  }
+  return s;
+}
+
 Status ShardedDb::Put(const WriteOptions& options, const Slice& key,
                       const Slice& value) {
-  return shards_[ShardOf(key)]->Put(options, key, value);
+  const int shard = ShardOf(key);
+  if (IsShardDegraded(shard)) return DegradedStatus(shard);
+  return MapShardStatus(shard, shards_[shard]->Put(options, key, value));
 }
 
 Status ShardedDb::Delete(const WriteOptions& options, const Slice& key) {
-  return shards_[ShardOf(key)]->Delete(options, key);
+  const int shard = ShardOf(key);
+  if (IsShardDegraded(shard)) return DegradedStatus(shard);
+  return MapShardStatus(shard, shards_[shard]->Delete(options, key));
 }
 
 Status ShardedDb::Write(const WriteOptions& options, WriteBatch* updates) {
   std::vector<WriteBatch> per_shard(num_shards());
   ShardSplitter splitter(&per_shard, num_shards());
   if (Status s = updates->Iterate(&splitter); !s.ok()) return s;
-  // Each sub-batch is atomic within its shard; a failure stops the
-  // remaining shards, so the caller sees at-most-prefix application across
-  // shards (single-shard batches keep full atomicity).
+  // Each sub-batch is atomic within its shard. Degraded shards are skipped
+  // (their sub-batches are NOT applied) while healthy shards keep
+  // committing — the shard, not the DB, is the failure domain — and the
+  // caller gets kShardDegraded naming the first down shard. Any other
+  // failure stops the remaining shards, so for those the caller sees
+  // at-most-prefix application (single-shard batches keep full atomicity).
+  int first_degraded = -1;
   for (int i = 0; i < num_shards(); i++) {
     if (WriteBatchInternal::Count(&per_shard[i]) == 0) continue;
-    if (Status s = shards_[i]->Write(options, &per_shard[i]); !s.ok()) {
-      return s;
+    if (IsShardDegraded(i)) {
+      if (first_degraded < 0) first_degraded = i;
+      continue;
     }
+    Status s = MapShardStatus(i, shards_[i]->Write(options, &per_shard[i]));
+    if (s.IsShardDegraded()) {
+      if (first_degraded < 0) first_degraded = i;
+      continue;
+    }
+    if (!s.ok()) return s;
   }
+  if (first_degraded >= 0) return DegradedStatus(first_degraded);
   return Status::OK();
 }
 
 Status ShardedDb::Get(const ReadOptions& options, const Slice& key,
                       std::string* value) {
   const int shard = ShardOf(key);
+  // Reads on a degraded shard are still attempted — the engine serves
+  // whatever is readable — so only a failing read gets the typed wrap.
+  Status s;
   if (options.snapshot != nullptr) {
     ReadOptions ro = options;
     ro.snapshot =
         static_cast<const ShardedSnapshot*>(options.snapshot)->snaps[shard];
-    return shards_[shard]->Get(ro, key, value);
+    s = shards_[shard]->Get(ro, key, value);
+  } else {
+    s = shards_[shard]->Get(options, key, value);
   }
-  return shards_[shard]->Get(options, key, value);
+  return MapShardStatus(shard, std::move(s));
 }
 
 Iterator* ShardedDb::NewIterator(const ReadOptions& options) {
@@ -122,6 +205,20 @@ bool ShardedDb::GetProperty(const Slice& property, std::string* value) {
   if (!in.starts_with(prefix)) return false;
   in.remove_prefix(prefix.size());
 
+  if (in == "shard-health") {
+    // One line per shard: "shard N: ok" or "shard N: degraded (<reason>)".
+    for (int i = 0; i < num_shards(); i++) {
+      value->append("shard " + std::to_string(i) + ": ");
+      if (IsShardDegraded(i)) {
+        std::lock_guard<std::mutex> l(health_[i]->mu);
+        value->append("degraded (" + health_[i]->reason + ")\n");
+      } else {
+        value->append("ok\n");
+      }
+    }
+    return true;
+  }
+
   if (in.starts_with("num-files-at-level") ||
       in == "approximate-memory-usage") {
     // Numeric properties: sum across shards.
@@ -144,13 +241,14 @@ bool ShardedDb::GetProperty(const Slice& property, std::string* value) {
     char buf[800];
     std::snprintf(
         buf, sizeof(buf),
-        "shards: %d\n"
+        "shards: %d (%d degraded)\n"
         "flushes: %llu, compactions: %llu\n"
         "user MB: %.1f, flush MB: %.1f, compact write MB: %.1f\n"
         "WA: %.2f, compaction device time: %.3f s\n"
         "write stalls: %llu slowdowns, %llu stops, %llu micros parked "
         "(level now %d)\n",
-        num_shards(), static_cast<unsigned long long>(st.num_flushes),
+        num_shards(), DegradedShardCount(),
+        static_cast<unsigned long long>(st.num_flushes),
         static_cast<unsigned long long>(st.num_compactions),
         st.user_bytes_written / 1048576.0, st.flush_bytes_written / 1048576.0,
         st.compaction_bytes_written / 1048576.0, st.wa(),

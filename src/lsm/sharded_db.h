@@ -21,12 +21,25 @@
 //    partition by hash, not range, so every shard contributes everywhere).
 //  - GetProperty("sealdb.stats") and GetDbStats aggregate across shards so
 //    the CLI, the stats property, and the metrics exposition agree.
+//
+// Failure domains (DESIGN.md §15): a shard — not the DB — is the unit of
+// failure. When one engine column latches a background error (its private
+// read-only degradation from PR 1), ShardedDb latches that shard *degraded*:
+// writes routed to it return the typed kShardDegraded status while every
+// other shard keeps serving reads and writes. Reads on a degraded shard are
+// still attempted (the engine serves whatever is readable); only a failing
+// read is wrapped in the typed status. Health is exposed as the
+// sealdb_shard_degraded{shard=} gauge family and the "sealdb.shard-health"
+// property.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "lsm/db.h"
+#include "obs/metrics.h"
 
 namespace sealdb {
 
@@ -36,9 +49,11 @@ class ShardedDb final : public DB {
  public:
   // Takes ownership of the per-shard engines (index == shard id).
   // `comparator` orders the merged iterator view; pass the same comparator
-  // the shards were opened with (Options::comparator).
+  // the shards were opened with (Options::comparator). A non-null
+  // `registry` receives the per-shard sealdb_shard_degraded gauges.
   ShardedDb(std::vector<std::unique_ptr<DB>> shards,
-            const Comparator* comparator);
+            const Comparator* comparator,
+            std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
   ~ShardedDb() override;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -46,6 +61,17 @@ class ShardedDb final : public DB {
   // constructing a batch.
   int ShardOf(const Slice& user_key) const;
   DB* shard(int i) { return shards_[i].get(); }
+
+  // ---- per-shard health ----
+  bool IsShardDegraded(int shard) const {
+    return health_[shard]->degraded.load(std::memory_order_acquire);
+  }
+  // Latch `shard` degraded (idempotent). Called internally when a shard's
+  // engine latches a background error, by the scrub scheduler's escalation
+  // ladder, and by tests/operators forcing a failure domain down.
+  void DegradeShard(int shard, const std::string& reason);
+  // Number of currently degraded shards (health gauge summary).
+  int DegradedShardCount() const;
 
   // ---- DB interface ----
   Status Put(const WriteOptions& options, const Slice& key,
@@ -74,8 +100,25 @@ class ShardedDb final : public DB {
  private:
   struct ShardedSnapshot;
 
+  // Health is latched: a shard that degrades stays degraded until the
+  // process reopens it (matching the engine's own background-error latch).
+  struct ShardHealth {
+    std::atomic<bool> degraded{false};
+    std::mutex mu;
+    std::string reason;              // guarded by mu
+    obs::Gauge* gauge = nullptr;     // sealdb_shard_degraded{shard=}
+  };
+
+  // Post-op filter: on a failed shard op, consult the shard's latched
+  // background error and promote the failure to kShardDegraded when the
+  // engine column is down (detection path of the health latch).
+  Status MapShardStatus(int shard, Status s);
+  Status DegradedStatus(int shard);
+
   std::vector<std::unique_ptr<DB>> shards_;
   const Comparator* comparator_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::vector<std::unique_ptr<ShardHealth>> health_;
 };
 
 }  // namespace sealdb

@@ -155,7 +155,7 @@ Status TableCache::Get(const ReadOptions& options, uint64_t file_number,
   return s;
 }
 
-void TableCache::Evict(uint64_t file_number) {
+void TableCache::Evict(uint64_t file_number, bool ban) {
   char buf[sizeof(file_number)];
   EncodeFixed64(buf, file_number);
   // Erase the table handle first so a cached Table's pinned index/filter
@@ -164,7 +164,7 @@ void TableCache::Evict(uint64_t file_number) {
   // freed at last unpin.
   cache_->Erase(Slice(buf, sizeof(buf)));
   if (buffer_) {
-    buffer_.pool->EvictFile(buffer_, file_number);
+    buffer_.pool->EvictFile(buffer_, file_number, ban);
   }
 }
 

@@ -48,8 +48,11 @@ class TableCache {
              void (*handle_result)(void*, const Slice&, const Slice&));
 
   // Evict any entry for the specified file number, including the file's
-  // pages in the buffer pool (dead SSTable after compaction).
-  void Evict(uint64_t file_number);
+  // pages in the buffer pool (dead SSTable after compaction). `ban` is for
+  // quarantined (not merely dead) files: the pool additionally refuses to
+  // re-admit the file's pages, so a reader racing the quarantine cannot
+  // resurrect them (see BufferPool::EvictFile).
+  void Evict(uint64_t file_number, bool ban = false);
 
  private:
   Status FindTable(uint64_t file_number, uint64_t file_size,

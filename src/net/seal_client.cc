@@ -272,7 +272,10 @@ Status SealClient::RoundTrip(uint8_t opcode, const Slice& request_payload,
     if (last.ok()) {
       // Transport succeeded; peek at the leading status record (every
       // response payload starts with one) so admission-control rejections
-      // are retried here instead of surfacing to the caller.
+      // are retried here instead of surfacing to the caller. Busy is the
+      // ONLY remote status treated as transient: ShardDegraded in
+      // particular surfaces immediately — the shard stays down until
+      // repaired, so resubmitting would just burn the retry budget.
       Status remote;
       Slice in = *response_payload;
       if (DecodeStatusRecord(&in, &remote) && remote.IsBusy()) {

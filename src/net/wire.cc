@@ -94,6 +94,7 @@ enum WireStatusCode : uint8_t {
   kWireNoSpace = 6,
   kWireBusy = 7,
   kWireTimedOut = 8,
+  kWireShardDegraded = 9,
 };
 
 uint8_t StatusToWireCode(const Status& s) {
@@ -106,6 +107,7 @@ uint8_t StatusToWireCode(const Status& s) {
   if (s.IsNoSpace()) return kWireNoSpace;
   if (s.IsBusy()) return kWireBusy;
   if (s.IsTimedOut()) return kWireTimedOut;
+  if (s.IsShardDegraded()) return kWireShardDegraded;
   return kWireIOError;
 }
 
@@ -129,6 +131,8 @@ Status WireCodeToStatus(uint8_t code, const Slice& msg) {
       return Status::Busy(msg);
     case kWireTimedOut:
       return Status::TimedOut(msg);
+    case kWireShardDegraded:
+      return Status::ShardDegraded(msg);
   }
   return Status::Corruption("unknown wire status code");
 }

@@ -22,7 +22,8 @@
 // begins with a status record (code byte + length-prefixed message) so
 // engine errors — NotFound, the read-only-degradation IOError, NoSpace —
 // and serving-layer errors — Busy (admission control rejected the
-// request), TimedOut (a server-side deadline elapsed) — travel to the
+// request), TimedOut (a server-side deadline elapsed), ShardDegraded (the
+// target shard latched a persistent fault; not retryable) — travel to the
 // client as typed errors, never as closed sockets.
 #pragma once
 

@@ -1250,6 +1250,10 @@ struct SealServer::Impl {
       text.append(prop);
       text.append("\n");
     }
+    if (db_->GetProperty("sealdb.shard-health", &prop)) {
+      text.append("-- shard health --\n");
+      text.append(prop);
+    }
     if (stack_ != nullptr) {
       const smr::DeviceStats d = stack_->device_stats();
       char buf[512];

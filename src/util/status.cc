@@ -43,6 +43,9 @@ std::string Status::ToString() const {
     case kTimedOut:
       type = "Timed out: ";
       break;
+    case kShardDegraded:
+      type = "Shard degraded: ";
+      break;
     default:
       type = "Unknown code: ";
       break;

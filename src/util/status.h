@@ -42,6 +42,13 @@ class Status {
   static Status TimedOut(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(kTimedOut, msg, msg2);
   }
+  // One engine shard latched a persistent fault and stopped accepting the
+  // operation; the rest of the keyspace keeps serving. NOT transient:
+  // clients must not retry it as overload — the shard stays degraded until
+  // an operator (or scrub repair) intervenes.
+  static Status ShardDegraded(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kShardDegraded, msg, msg2);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == kNotFound; }
@@ -52,6 +59,7 @@ class Status {
   bool IsNoSpace() const { return code() == kNoSpace; }
   bool IsBusy() const { return code() == kBusy; }
   bool IsTimedOut() const { return code() == kTimedOut; }
+  bool IsShardDegraded() const { return code() == kShardDegraded; }
 
   std::string ToString() const;
 
@@ -72,6 +80,7 @@ class Status {
     kNoSpace = 6,
     kBusy = 7,
     kTimedOut = 8,
+    kShardDegraded = 9,
   };
 
   struct Rep {

@@ -56,6 +56,33 @@ TEST(FreeMap, Coalescing) {
   EXPECT_EQ(off, 0u);
 }
 
+TEST(FreeMap, BadReleasesReturnTypedStatusAndLeaveMapIntact) {
+  FreeMap fm;
+  fm.Reset(1000, 1000);  // manages [1000, 2000)
+  uint64_t off;
+  ASSERT_TRUE(fm.Allocate(100, &off));
+  const uint64_t before = fm.free_bytes();
+
+  // Double free: the first release succeeds, the second is refused.
+  ASSERT_TRUE(fm.Free(off, 100).ok());
+  Status s = fm.Free(off, 100);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  // Out-of-range releases (below base, past limit, straddling the limit)
+  // are refused without touching the accounting.
+  const uint64_t intact = fm.free_bytes();
+  EXPECT_TRUE(fm.Free(0, 100).IsInvalidArgument());
+  EXPECT_TRUE(fm.Free(2000, 100).IsInvalidArgument());
+  EXPECT_TRUE(fm.Free(1950, 100).IsInvalidArgument());
+  EXPECT_TRUE(fm.Free(off, 0).ok());  // zero-length release is a no-op
+  EXPECT_EQ(fm.free_bytes(), intact);
+  EXPECT_EQ(fm.free_bytes(), before + 100);
+
+  // The map still works after the refused releases.
+  ASSERT_TRUE(fm.Allocate(1000, &off));
+  EXPECT_EQ(off, 1000u);
+}
+
 TEST(FreeMap, RangedAllocation) {
   FreeMap fm;
   fm.Reset(0, 1000);

@@ -394,4 +394,116 @@ TEST_F(BufferPoolTest, ConcurrentReadersEvictionAndFileDrop) {
   EXPECT_EQ(g_frees.load(), g_allocs.load());
 }
 
+// Quarantine ordering: once EvictFile(ban) returns, no later Insert for
+// that file may link a page other readers could find — the loser of a
+// concurrent duplicate-insert race gets its page back born doomed (usable
+// by the caller, invisible to Lookup). UnbanFile restores admission.
+TEST_F(BufferPoolTest, BanKeepsQuarantinedFileOutOfThePool) {
+  auto pool = MakePool(64 << 20, 8);
+  BufferClient client = pool->RegisterClient("0");
+  constexpr uint64_t kFile = 7;
+
+  BufferPool::PageRef before;
+  pool->Insert(client, kFile, 0, BlockKind::kData, MakeValue(1), 2048,
+               &DeleteValue, &before);
+  before.Reset();
+  pool->EvictFile(client, kFile, /*ban=*/true);
+
+  // The in-flight loser of the eviction race: its Insert still yields a
+  // usable page (the read that raced the quarantine completes) ...
+  BufferPool::PageRef loser;
+  pool->Insert(client, kFile, 0, BlockKind::kData, MakeValue(2), 2048,
+               &DeleteValue, &loser);
+  ASSERT_TRUE(loser);
+  EXPECT_EQ(TagOf(loser.value()), 2u);
+
+  // ... but the page was never linked: no other reader can be served
+  // stale bytes from the quarantined file, pinned or not.
+  BufferPool::PageRef peek;
+  EXPECT_FALSE(pool->Lookup(client, kFile, 0, BlockKind::kData, &peek));
+  loser.Reset();
+  EXPECT_FALSE(pool->Lookup(client, kFile, 0, BlockKind::kData, &peek));
+
+  // Other files are untouched by the ban.
+  BufferPool::PageRef other;
+  pool->Insert(client, kFile + 1, 0, BlockKind::kData, MakeValue(3), 2048,
+               &DeleteValue, &other);
+  other.Reset();
+  EXPECT_TRUE(pool->Lookup(client, kFile + 1, 0, BlockKind::kData, &other));
+  other.Reset();
+
+  // Lifting the ban restores normal admission for the file.
+  pool->UnbanFile(client, kFile);
+  BufferPool::PageRef fresh;
+  pool->Insert(client, kFile, 0, BlockKind::kData, MakeValue(4), 2048,
+               &DeleteValue, &fresh);
+  fresh.Reset();
+  ASSERT_TRUE(pool->Lookup(client, kFile, 0, BlockKind::kData, &fresh));
+  EXPECT_EQ(TagOf(fresh.value()), 4u);
+  fresh.Reset();
+
+  pool->UnregisterClient(client);
+  pool.reset();
+  EXPECT_EQ(g_frees.load(), g_allocs.load());
+}
+
+// The same ordering under contention: one thread quarantines/unbans in a
+// loop while readers insert-or-lookup pages of the banned file. At no
+// point may a Lookup observe a page inserted after the ban; the ledger
+// catches any page leaked by the doomed-insert path. TSan-meaningful via
+// the "stress" label.
+TEST_F(BufferPoolTest, ConcurrentBanVsInsertNeverReAdmits) {
+  auto pool = MakePool(256 << 10, 4);
+  BufferClient client = pool->RegisterClient("0");
+  constexpr uint64_t kFile = 3;
+  constexpr int kOffsets = 16;
+  std::atomic<bool> stop{false};
+  // Odd = the ban is in place (stored after EvictFile(ban) returns); even =
+  // about to be lifted (stored before UnbanFile starts). A reader that sees
+  // the same odd value before its insert and after its verify lookup knows
+  // the ban held the whole time, so the assertion cannot race the unban.
+  std::atomic<uint64_t> ban_state{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; t++) {
+    readers.emplace_back([&, t] {
+      uint64_t x = 0xdeadbeef * static_cast<uint64_t>(t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const uint64_t off = ((x >> 16) % kOffsets) * 4096;
+        const uint64_t s1 = ban_state.load(std::memory_order_acquire);
+        BufferPool::PageRef ref;
+        if (!pool->Lookup(client, kFile, off, BlockKind::kData, &ref)) {
+          pool->Insert(client, kFile, off, BlockKind::kData,
+                       MakeValue(off), 2048, &DeleteValue, &ref);
+          BufferPool::PageRef again;
+          const bool found =
+              pool->Lookup(client, kFile, off, BlockKind::kData, &again);
+          if (s1 % 2 == 1 &&
+              ban_state.load(std::memory_order_acquire) == s1) {
+            EXPECT_FALSE(found)
+                << "banned file re-admitted at offset " << off;
+          }
+        }
+        EXPECT_EQ(TagOf(ref.value()), off);
+      }
+    });
+  }
+  for (uint64_t i = 0; i < 100; i++) {
+    pool->EvictFile(client, kFile, /*ban=*/true);
+    ban_state.store(2 * i + 1, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ban_state.store(2 * i + 2, std::memory_order_release);
+    pool->UnbanFile(client, kFile);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+  pool->UnregisterClient(client);
+  pool.reset();
+  EXPECT_EQ(g_frees.load(), g_allocs.load());
+}
+
 }  // namespace sealdb::buf

@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "baselines/presets.h"
+#include "core/shard_layout.h"
 #include "lsm/db.h"
+#include "lsm/sharded_db.h"
 #include "net/chaos.h"
 #include "net/seal_client.h"
 #include "net/socket.h"
@@ -89,7 +91,12 @@ class ChaosTest : public ::testing::TestWithParam<uint32_t> {
  protected:
   void Start(const server::ServerOptions& server_opts,
              const net::ChaosOptions& chaos_opts) {
-    ASSERT_TRUE(BuildStack(SmallConfig(), "/chaos", &stack_).ok());
+    Start(server_opts, chaos_opts, SmallConfig());
+  }
+
+  void Start(const server::ServerOptions& server_opts,
+             const net::ChaosOptions& chaos_opts, const StackConfig& config) {
+    ASSERT_TRUE(BuildStack(config, "/chaos", &stack_).ok());
     server::ServerOptions opts = server_opts;
     server_ = std::make_unique<server::SealServer>(stack_->db(), stack_.get(),
                                                    opts);
@@ -258,6 +265,133 @@ TEST_P(ChaosTest, AckedWritesSurviveChaosAndRecovery) {
   // make retries overwhelmingly likely, and the invariants above are what
   // the test is for.
   (void)total_retries;
+}
+
+// The acked⇒durable audit against a 4-shard server with one shard
+// force-degraded mid-run: the degraded column answers its keys with the
+// typed ShardDegraded status while the healthy columns keep acking — and
+// every ack, on any shard and from before or after the degrade, survives
+// crash + recovery.
+TEST_P(ChaosTest, AckedWritesSurviveWithOneShardDegraded) {
+  const uint32_t seed = GetParam();
+  static constexpr int kShards = 4;
+  static constexpr int kVictim = 2;
+
+  server::ServerOptions sopts;
+  sopts.sync_writes = true;
+  net::ChaosOptions copts;
+  copts.seed = seed;
+  copts.drop_per_mille = 25;
+  copts.delay_per_mille = 25;
+  copts.duplicate_per_mille = 25;
+  copts.close_per_mille = 10;
+  copts.delay_millis = 5;
+  StackConfig config = SmallConfig();
+  config.num_shards = kShards;
+  Start(sopts, copts, config);
+  ASSERT_NE(stack_->sharded_db(), nullptr);
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 50;
+  std::atomic<int> ops_done{0};
+  std::atomic<bool> degraded{false};
+
+  struct ClientOutcome {
+    std::vector<std::pair<std::string, std::string>> acked;
+    int acked_healthy_after_degrade = 0;
+    int degraded_answers = 0;
+  };
+  std::vector<ClientOutcome> outcomes(kClients);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; c++) {
+    threads.emplace_back([this, c, seed, &outcomes, &ops_done, &degraded] {
+      net::SealClient client;
+      net::RetryPolicy policy;
+      policy.enabled = true;
+      policy.max_attempts = 8;
+      policy.base_backoff_millis = 2;
+      policy.max_backoff_millis = 100;
+      policy.deadline_millis = 4000;
+      policy.jitter_seed = seed * 37 + c + 1;
+      client.set_retry_policy(policy);
+      if (!client.Connect("127.0.0.1", proxy_->port(), 500, 1000).ok()) {
+        return;
+      }
+      for (int i = 0; i < kOpsPerClient; i++) {
+        const std::string key = Key(c, i);
+        const std::string value = Value(c, i);
+        const bool was_degraded = degraded.load(std::memory_order_acquire);
+        const Status put = client.Put(key, value);
+        if (put.ok()) {
+          outcomes[c].acked.emplace_back(key, value);
+          if (was_degraded &&
+              core::ShardLayout::ShardOfKey(key, kShards) != kVictim) {
+            outcomes[c].acked_healthy_after_degrade++;
+          }
+        } else if (put.IsShardDegraded()) {
+          outcomes[c].degraded_answers++;
+          // The typed status must only ever name the victim's keys.
+          EXPECT_EQ(core::ShardLayout::ShardOfKey(key, kShards), kVictim)
+              << key << ": " << put.ToString();
+        }
+        ops_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // A third of the way through, one shard's engine goes down.
+  while (ops_done.load(std::memory_order_relaxed) <
+         kClients * kOpsPerClient / 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stack_->sharded_db()->DegradeShard(kVictim, "chaos: forced");
+  degraded.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  // Healthy shards kept committing after the degrade.
+  size_t total_acked = 0;
+  int healthy_after = 0;
+  for (const ClientOutcome& o : outcomes) {
+    total_acked += o.acked.size();
+    healthy_after += o.acked_healthy_after_degrade;
+  }
+  EXPECT_GT(total_acked, 0u) << "seed " << seed;
+  EXPECT_GT(healthy_after, 0) << "seed " << seed;
+
+  // Deterministic typed-error probe through a clean connection: a key on
+  // the victim shard answers ShardDegraded, one on a healthy shard acks.
+  {
+    net::SealClient direct;
+    ASSERT_TRUE(direct.Connect("127.0.0.1", server_->port()).ok());
+    std::string victim_key, healthy_key;
+    for (int i = 0; victim_key.empty() || healthy_key.empty(); i++) {
+      const std::string k = "probe-" + std::to_string(i);
+      if (core::ShardLayout::ShardOfKey(k, kShards) == kVictim) {
+        if (victim_key.empty()) victim_key = k;
+      } else if (healthy_key.empty()) {
+        healthy_key = k;
+      }
+    }
+    Status vs = direct.Put(victim_key, "x");
+    EXPECT_TRUE(vs.IsShardDegraded()) << vs.ToString();
+    ASSERT_TRUE(direct.Put(healthy_key, "x").ok());
+  }
+
+  // Acked ⇒ durable on every shard: the forced degrade wounded no media,
+  // so after crash + recovery every acknowledged write is back — including
+  // the victim shard's pre-degrade acks.
+  proxy_->Stop();
+  server_->Stop();
+  server_.reset();
+  ASSERT_TRUE(stack_->Reopen().ok());
+  for (const ClientOutcome& o : outcomes) {
+    for (const auto& [key, value] : o.acked) {
+      std::string got;
+      ASSERT_TRUE(stack_->db()->Get(ReadOptions(), key, &got).ok()) << key;
+      EXPECT_EQ(got, value) << key;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,

@@ -8,12 +8,20 @@
 //   - the recovered DB accepts new writes
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/presets.h"
+#include "core/shard_layout.h"
+#include "fs/doctor.h"
+#include "fs/file_store.h"
 #include "lsm/db.h"
+#include "lsm/write_batch.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
 #include "util/random.h"
 
 namespace sealdb {
@@ -146,6 +154,321 @@ TEST_P(CrashPointTest, EveryCrashPointRecovers) {
     ASSERT_TRUE(db->Get(ReadOptions(), "post-crash", &value).ok());
     ASSERT_EQ("alive", value);
   }
+}
+
+// ---------------------------------------------------------------------
+// Sharded stacks: the same sweep over a 4-shard SEALDB stack, with
+// split-batch commits spanning shards. Durability is a PER-SHARD WAL
+// prefix property — a synced commit flushes the WALs of exactly the
+// shards it touched, so earlier unsynced writes become durable on those
+// shards only. After every recovery the offline doctor must find the
+// store metadata consistent.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr int kSweepShards = 4;
+
+int SweepShardOf(const std::string& key) {
+  return core::ShardLayout::ShardOfKey(key, kSweepShards);
+}
+
+// Like RunWorkload, but every third op is a WriteBatch of 4 keys (almost
+// always spanning several shards) and the synced-durability bookkeeping
+// is per shard.
+void RunShardedWorkload(DB* db, std::map<std::string, KeyState>* state) {
+  std::vector<std::map<std::string, int>> pending(kSweepShards);
+  int gen = 0;
+  for (int op = 0; gen < kOps; op++) {
+    WriteOptions wo;
+    wo.sync = (op % kSyncEvery == kSyncEvery - 1);
+    std::vector<int> touched;
+    if (op % 3 == 0) {
+      WriteBatch batch;
+      std::vector<std::pair<std::string, int>> writes;
+      for (int j = 0; j < 4 && gen < kOps; j++, gen++) {
+        const std::string k = Key(gen % 100);
+        batch.Put(k, Value(gen % 100, gen));
+        writes.emplace_back(k, gen);
+      }
+      for (const auto& [k, g] : writes) (*state)[k].last_gen = g;
+      if (!db->Write(wo, &batch).ok()) return;  // power died mid-commit
+      for (const auto& [k, g] : writes) {
+        const int shard = SweepShardOf(k);
+        pending[shard][k] = g;
+        touched.push_back(shard);
+      }
+    } else {
+      const std::string k = Key(gen % 100);
+      const int g = gen++;
+      (*state)[k].last_gen = g;
+      if (!db->Put(wo, k, Value(g % 100, g)).ok()) return;
+      const int shard = SweepShardOf(k);
+      pending[shard][k] = g;
+      touched.push_back(shard);
+    }
+    if (wo.sync) {
+      // The commit synced the WALs of exactly the shards it touched:
+      // their earlier unsynced writes rode along; other shards' pending
+      // writes did not.
+      for (int shard : touched) {
+        for (auto& [pk, pg] : pending[shard]) {
+          KeyState& st = (*state)[pk];
+          st.synced_gen = std::max(st.synced_gen, pg);
+        }
+        pending[shard].clear();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ShardedCrashPointTest, EveryCrashPointRecoversPerShard) {
+  StackConfig config = SweepConfig(SystemKind::kSEALDB);
+  config.num_shards = kSweepShards;
+
+  uint64_t total_blocks = 0;
+  {
+    std::unique_ptr<Stack> stack;
+    ASSERT_TRUE(BuildStack(config, "/db", &stack).ok());
+    std::map<std::string, KeyState> state;
+    RunShardedWorkload(stack->db(), &state);
+    stack->db()->WaitForIdle();
+    total_blocks = stack->fault_drive()->blocks_written();
+  }
+  ASSERT_GT(total_blocks, 0u);
+
+  const uint64_t step = std::max<uint64_t>(1, total_blocks / 12);
+  for (uint64_t crash_at = 1; crash_at <= total_blocks; crash_at += step) {
+    SCOPED_TRACE("crash after " + std::to_string(crash_at) + " of " +
+                 std::to_string(total_blocks) + " blocks");
+    std::unique_ptr<Stack> stack;
+    ASSERT_TRUE(BuildStack(config, "/db", &stack).ok());
+    stack->fault_drive()->CrashAfterBlockWrites(crash_at);
+
+    std::map<std::string, KeyState> state;
+    RunShardedWorkload(stack->db(), &state);
+
+    const Status reopen = stack->Reopen();
+    ASSERT_TRUE(reopen.ok()) << reopen.ToString();
+    DB* db = stack->db();
+    db->WaitForIdle();
+
+    // The offline doctor agrees the recovered metadata is consistent —
+    // a torn journal tail is normal after a power cut, corruption is not.
+    fs::DoctorOptions dopt;
+    dopt.num_shards = kSweepShards;
+    fs::DoctorReport report;
+    ASSERT_TRUE(fs::RunDoctor(stack->drive(), dopt, &report).ok());
+    ASSERT_TRUE(report.ok()) << report.ToString();
+
+    std::string value;
+    for (const auto& [k, st] : state) {
+      Status s = db->Get(ReadOptions(), k, &value);
+      const int id = std::stoi(k.substr(3));
+      if (s.ok()) {
+        const size_t colon = value.find(':');
+        ASSERT_TRUE(value.rfind("g", 0) == 0 && colon != std::string::npos)
+            << "garbage under " << k;
+        const int gen = std::stoi(value.substr(1, colon - 1));
+        ASSERT_EQ(Value(id, gen), value) << "garbage under " << k;
+        ASSERT_EQ(id, gen % 100) << "foreign value under " << k;
+        ASSERT_LE(gen, st.last_gen) << "future value under " << k;
+        ASSERT_GE(gen, st.synced_gen) << "synced write rolled back: " << k;
+      } else {
+        ASSERT_TRUE(s.IsNotFound()) << k << ": " << s.ToString();
+        ASSERT_LT(st.synced_gen, 0) << "synced key lost: " << k;
+      }
+    }
+    ASSERT_TRUE(db->Get(ReadOptions(), "never-written", &value).IsNotFound());
+
+    WriteOptions sync;
+    sync.sync = true;
+    ASSERT_TRUE(db->Put(sync, "post-crash", "alive").ok());
+    ASSERT_TRUE(db->Get(ReadOptions(), "post-crash", &value).ok());
+    ASSERT_EQ("alive", value);
+  }
+}
+
+// The superblock is written once at Format and never rewritten, so losing
+// it means losing the shard map: reopening must fail with a typed error
+// (not a crash, not silent data loss) and the doctor must name it.
+TEST(ShardedCrashPointTest, DamagedSuperblockFailsTypedAndDoctorFlagsIt) {
+  StackConfig config = SweepConfig(SystemKind::kSEALDB);
+  config.num_shards = kSweepShards;
+  std::unique_ptr<Stack> stack;
+  ASSERT_TRUE(BuildStack(config, "/db", &stack).ok());
+
+  WriteOptions sync;
+  sync.sync = true;
+  for (int i = 0; i < 32; i++) {
+    ASSERT_TRUE(stack->db()->Put(sync, Key(i), Value(i, i)).ok());
+  }
+  stack->db()->WaitForIdle();
+
+  std::string garbage(stack->drive()->geometry().block_bytes, '\xcc');
+  ASSERT_TRUE(stack->drive()->Write(0, garbage).ok());
+
+  fs::DoctorOptions dopt;
+  dopt.num_shards = kSweepShards;
+  fs::DoctorReport report;
+  ASSERT_TRUE(fs::RunDoctor(stack->drive(), dopt, &report).ok());
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.errors.empty()) << report.ToString();
+
+  const Status reopen = stack->Reopen();
+  ASSERT_FALSE(reopen.ok());
+  EXPECT_TRUE(reopen.IsCorruption() || reopen.IsInvalidArgument())
+      << reopen.ToString();
+}
+
+// The recovered free map is derived "data slice minus live extents"
+// (SMORE-style), so it is only sound while live extents are disjoint. A
+// double-allocated range — the damage a buggy allocator or a replayed
+// stale metadata record leaves behind — corrupts that derivation. Forge a
+// well-framed journal record claiming a block inside a live table's
+// extent and prove the doctor flags the overlap, repair drops the bogus
+// claimant (the lower-offset owner allocated first and keeps the range)
+// and rewrites both checkpoint slots, the re-check is clean, and the
+// store reopens with its data intact on the repaired, sound free map.
+TEST(DoctorRepairTest, RepairFixesDeliberatelyCorruptedFreeMap) {
+  StackConfig config = SweepConfig(SystemKind::kSEALDB);
+  std::unique_ptr<Stack> stack;
+  ASSERT_TRUE(BuildStack(config, "/db", &stack).ok());
+
+  WriteOptions sync;
+  sync.sync = true;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(stack->db()->Put(sync, Key(i), Value(i, i)).ok());
+  }
+  stack->db()->WaitForIdle();
+
+  // A live table extent to double-allocate into (>= 2 blocks, so a claim
+  // starting one block in stays strictly inside it).
+  fs::FileStore* store = stack->shard_store(0);
+  const auto& geo = stack->drive()->geometry();
+  const uint64_t block = geo.block_bytes;
+  fs::Extent victim;
+  bool found = false;
+  for (const std::string& name : store->GetChildren()) {
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".ldb") continue;
+    std::vector<fs::Extent> extents;
+    if (!store->GetFileExtents(name, &extents).ok() || extents.empty()) {
+      continue;
+    }
+    if (extents[0].length >= 2 * block) {
+      victim = extents[0];
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // Mirror of the store's conventional-slice geometry (see fs/doctor.cc):
+  // two checkpoint slots, then the append journal.
+  const core::ShardLayout layout(geo, 1, geo.track_bytes);
+  const core::ShardRegion& rg = layout.region(0);
+  const uint64_t slot_bytes = rg.conv_len / 8 / block * block;
+  const uint64_t log_begin = rg.conv_base + 2 * slot_bytes;
+  const uint64_t log_end = rg.conv_base + rg.conv_len / 2 / block * block;
+
+  // Freshest checkpoint sequence, from the slot headers.
+  uint64_t ckpt_seq = 0;
+  std::string scratch(block, '\0');
+  for (int slot = 0; slot < 2; slot++) {
+    ASSERT_TRUE(stack->drive()
+                    ->Read(rg.conv_base + slot * slot_bytes, block,
+                           scratch.data())
+                    .ok());
+    Slice h(scratch);
+    uint32_t magic, len, crc;
+    uint64_t seq;
+    if (GetFixed32(&h, &magic) && magic == fs::kCkptMagic &&
+        GetFixed64(&h, &seq) && GetFixed32(&h, &len) && GetFixed32(&h, &crc)) {
+      ckpt_seq = std::max(ckpt_seq, seq);
+    }
+  }
+  ASSERT_GT(ckpt_seq, 0u);
+
+  // Walk the journal frames (headers only) to the tail.
+  uint64_t pos = log_begin;
+  uint64_t expect = ckpt_seq + 1;
+  while (pos + block <= log_end) {
+    ASSERT_TRUE(stack->drive()->Read(pos, block, scratch.data()).ok());
+    Slice h(scratch);
+    uint32_t magic, len, crc;
+    uint64_t seq;
+    if (!GetFixed32(&h, &magic) || magic != fs::kJournalMagic) break;
+    if (!GetFixed64(&h, &seq) || !GetFixed32(&h, &len) ||
+        !GetFixed32(&h, &crc)) {
+      break;
+    }
+    if (seq != expect) break;
+    const uint64_t total =
+        (fs::kRecordHeader + len + block - 1) / block * block;
+    if (pos + total > log_end) break;
+    pos += total;
+    expect = seq + 1;
+  }
+
+  // Forge a well-framed kCreateFile record claiming one block strictly
+  // inside the victim's extent. Strictly inside, so the overlap sweep's
+  // lower-offset-wins rule dooms the forgery, never the real table.
+  std::string payload;
+  payload.push_back(static_cast<char>(fs::kCreateFile));
+  PutLengthPrefixedSlice(&payload, "/forged/evil.ldb");
+  PutVarint64(&payload, 0);      // standalone: no region
+  PutVarint64(&payload, block);  // size
+  PutVarint32(&payload, 1);      // one extent
+  PutVarint64(&payload, victim.offset + block);
+  PutVarint64(&payload, block);
+  PutVarint64(&payload, 0);  // guard
+  std::string rec;
+  PutFixed32(&rec, fs::kJournalMagic);
+  PutFixed64(&rec, expect);
+  PutFixed32(&rec, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&rec,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  rec.append(payload);
+  rec.resize((rec.size() + block - 1) / block * block, '\0');
+  ASSERT_LE(pos + rec.size(), log_end);
+  ASSERT_TRUE(stack->drive()->Write(pos, rec).ok());
+
+  // Check: the doctor names the double-allocated range.
+  fs::DoctorOptions dopt;
+  fs::DoctorReport report;
+  ASSERT_TRUE(fs::RunDoctor(stack->drive(), dopt, &report).ok());
+  ASSERT_EQ(report.shards.size(), 1u);
+  ASSERT_FALSE(report.ok());
+  bool overlap_flagged = false;
+  for (const auto& e : report.shards[0].errors) {
+    overlap_flagged =
+        overlap_flagged || e.find("double-allocated") != std::string::npos;
+  }
+  EXPECT_TRUE(overlap_flagged) << report.ToString();
+
+  // Repair drops exactly the forged claimant and rewrites both slots.
+  dopt.repair = true;
+  ASSERT_TRUE(fs::RunDoctor(stack->drive(), dopt, &report).ok());
+  ASSERT_EQ(report.shards[0].dropped_files, 1u) << report.ToString();
+  EXPECT_TRUE(report.shards[0].rewrote_checkpoints);
+
+  // The re-check is clean: live extents are disjoint again, so the
+  // re-derived free map is sound.
+  dopt.repair = false;
+  ASSERT_TRUE(fs::RunDoctor(stack->drive(), dopt, &report).ok());
+  ASSERT_TRUE(report.ok()) << report.ToString();
+
+  // And the store agrees: it reopens on the repaired metadata with every
+  // key intact and keeps allocating.
+  ASSERT_TRUE(stack->Reopen().ok());
+  std::string value;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(stack->db()->Get(ReadOptions(), Key(i), &value).ok()) << i;
+    ASSERT_EQ(Value(i, i), value);
+  }
+  ASSERT_TRUE(stack->db()->Put(sync, "post-repair", "alive").ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Systems, CrashPointTest,
